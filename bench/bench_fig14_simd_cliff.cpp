@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Figure 14: icc only emits AVX vector code (vfmadd213ps) for
+ * the inner dense-block loop of a UCU-format SpMV once the block size b
+ * reaches 16. Sweeping b shows the per-nonzero time cliff at the
+ * vectorization threshold — the compiler heuristic WACO learns to exploit
+ * (Table 6's "dense block <50% filled" wins). The gcc-flavored AMD machine
+ * model vectorizes at b >= 8, shifting the cliff.
+ */
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+using namespace waco;
+using namespace waco::bench;
+
+namespace {
+
+/** UCU SpMV schedule with column-block size b. */
+SuperSchedule
+ucuSchedule(const ProblemShape& shape, u32 b)
+{
+    auto s = defaultSchedule(shape);
+    s.splits[1] = b;
+    s.sparseLevelOrder = {outerSlot(0), innerSlot(0), outerSlot(1),
+                          innerSlot(1)};
+    s.sparseLevelFormats = {LevelFormat::Uncompressed, LevelFormat::Compressed,
+                            LevelFormat::Compressed,
+                            LevelFormat::Uncompressed};
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    Timer total;
+    printHeader("Figure 14", "Compiler SIMD heuristic: UCU SpMV inner-block "
+                             "sweep (vector code only from b >= threshold)");
+
+    Rng rng(77);
+    // Block-diagonal pattern with 32-wide fully dense blocks so every
+    // UCU block size divides the dense runs.
+    auto m = genBlockDiagonal(16384, 32, rng);
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMV, m.rows(), m.cols());
+
+    printRow({"b", "intel24+icc", "", "amd8+gcc", ""},
+             {6, 14, 10, 14, 10});
+    printRow({"", "ns/nnz", "SIMD?", "ns/nnz", "SIMD?"}, {6, 14, 10, 14, 10});
+    RuntimeOracle intel(MachineConfig::intel24());
+    RuntimeOracle amd(MachineConfig::amd8());
+    for (u32 b = 2; b <= 64; b *= 2) {
+        auto s = ucuSchedule(shape, b);
+        auto ri = intel.measure(m, shape, s);
+        auto ra = amd.measure(m, shape, s);
+        double ni = ri.seconds / static_cast<double>(m.nnz()) * 1e9;
+        double na = ra.seconds / static_cast<double>(m.nnz()) * 1e9;
+        printRow({std::to_string(b), numCell(ni, 4), ri.simdUsed ? "yes" : "no",
+                  numCell(na, 4), ra.simdUsed ? "yes" : "no"},
+                 {6, 14, 10, 14, 10});
+    }
+    std::printf("\n(icc-modelled machine vectorizes from b=16, gcc-modelled "
+                "from b=8 — the cliffs WACO's cost model internalizes.)\n");
+    std::printf("[bench completed in %.1fs]\n", total.seconds());
+    return 0;
+}

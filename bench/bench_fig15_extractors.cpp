@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces Figure 15: train/validation loss of the SpMM cost model under
+ * four different feature extractors — HumanFeature, DenseConv (downsampled
+ * conventional CNN), MinkowskiNet-style sparse CNN, and WACONet.
+ *
+ * Expected shape: HumanFeature plateaus highest; DenseConv below it;
+ * the sparse-convolution extractors below DenseConv; and WACONet (strided
+ * receptive-field growth + all-layer concatenation) lowest.
+ */
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/trainer.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+using namespace waco;
+using namespace waco::bench;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    Timer total;
+    printHeader("Figure 15", "Train/validation loss of the SpMM cost model "
+                             "with four feature extractors");
+
+    // Shared dataset (deterministic).
+    CorpusOptions copt;
+    copt.count = 16;
+    copt.minDim = 512;
+    copt.maxDim = 4096;
+    copt.minNnz = 2000;
+    copt.maxNnz = 12000;
+    auto corpus = makeCorpus(copt, 1501);
+    RuntimeOracle oracle(MachineConfig::intel24());
+    auto dataset = buildDataset(Algorithm::SpMM, corpus, oracle, 24, 1502);
+
+    ExtractorConfig cfg;
+    cfg.channels = 16;
+    cfg.numLayers = 8;
+    cfg.featureDim = 64;
+    TrainOptions topt;
+    topt.epochs = 10;
+    topt.batchSchedules = 14;
+
+    const std::vector<std::pair<std::string, std::string>> extractors = {
+        {"human", "HumanFeature"},
+        {"denseconv", "DenseConv"},
+        {"minkowski", "MinkowskiNet"},
+        {"waconet", "WACONet"},
+    };
+
+    std::vector<std::vector<EpochStats>> histories;
+    for (const auto& [kind, label] : extractors) {
+        Timer t;
+        WacoCostModel model(Algorithm::SpMM, kind, cfg, 1503);
+        histories.push_back(trainCostModel(model, dataset, topt));
+        std::printf("[trained %s in %.1fs]\n", label.c_str(), t.seconds());
+    }
+
+    std::printf("\nPer-epoch losses (train / val):\n");
+    std::vector<std::string> hdr = {"Epoch"};
+    for (const auto& [kind, label] : extractors)
+        hdr.push_back(label);
+    printRow(hdr, {7, 20, 20, 20, 20});
+    for (u32 e = 0; e < topt.epochs; ++e) {
+        std::vector<std::string> row = {std::to_string(e)};
+        for (const auto& h : histories) {
+            row.push_back(numCell(h[e].trainLoss, 3) + " / " +
+                          numCell(h[e].valLoss, 3));
+        }
+        printRow(row, {7, 20, 20, 20, 20});
+    }
+
+    std::printf("\nFinal validation loss and pairwise ranking accuracy:\n");
+    for (std::size_t i = 0; i < extractors.size(); ++i) {
+        std::printf("  %-14s val-loss %.3f  rank-acc %.3f\n",
+                    extractors[i].second.c_str(), histories[i].back().valLoss,
+                    histories[i].back().valOrderAccuracy);
+    }
+    std::printf("\n(Paper: WACONet < MinkowskiNet < DenseConv < "
+                "HumanFeature, WACONet improving losses ~50%% over a "
+                "conventional CNN.)\n");
+    std::printf("[bench completed in %.1fs]\n", total.seconds());
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces Figure 17: tuning overhead vs achieved speedup for the three
+ * auto-tuners (MKL inspector-executor, BestFormat, WACO), both measured in
+ * units of one MKL-Naive kernel invocation. WACO pays the largest search
+ * cost (feature extraction + ANNS + top-k re-measurement + format
+ * conversion) for the largest speedups; MKL is cheap but shallow;
+ * BestFormat sits between.
+ */
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+using namespace waco;
+using namespace waco::bench;
+
+namespace {
+
+struct Point
+{
+    double overhead; ///< Tuning cost in MKL-naive invocations.
+    double speedup;  ///< Per-call speedup over MKL-naive.
+};
+
+void
+summarize(const std::string& label, const std::vector<Point>& pts)
+{
+    std::vector<double> ov, sp;
+    for (const auto& p : pts) {
+        ov.push_back(p.overhead);
+        sp.push_back(p.speedup);
+    }
+    std::printf("  %-12s overhead median %8.0f invocations   speedup "
+                "geomean %.2fx (max %.2fx)\n",
+                label.c_str(), median(ov), geomean(sp),
+                *std::max_element(sp.begin(), sp.end()));
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    Timer total;
+    printHeader("Figure 17", "Tuning overhead vs speedup relative to "
+                             "MKL-Naive (per-algorithm summary)");
+
+    for (Algorithm alg : {Algorithm::SpMV, Algorithm::SpMM}) {
+        auto tuner = makeTrainedTuner(alg, MachineConfig::intel24());
+        const RuntimeOracle& oracle = tuner->oracle();
+        MklLike mkl(oracle);
+        BestFormat bf(oracle);
+        bf.train(alg, trainingCorpus());
+
+        std::vector<Point> p_mkl, p_bf, p_waco;
+        double breakeven_sum = 0.0;
+        u32 breakeven_n = 0;
+        for (const auto& m : testMatrices(16, 930)) {
+            double naive = mkl.naive(m, alg).measured.seconds;
+            if (naive <= 0.0)
+                continue;
+
+            auto rm = mkl.tune(m, alg);
+            p_mkl.push_back({rm.tuningSeconds / naive,
+                             naive / rm.measured.seconds});
+
+            auto rb = bf.tune(m);
+            p_bf.push_back({(rb.tuningSeconds + rb.convertSeconds) / naive,
+                            naive / rb.measured.seconds});
+
+            auto rw = tuner->tune(m);
+            double w_overhead =
+                (rw.tuningSeconds() + rw.convertSeconds) / naive;
+            double w_speedup = naive / rw.bestMeasured.seconds;
+            p_waco.push_back({w_overhead, w_speedup});
+            if (w_speedup > 1.0) {
+                // Invocations needed to amortize WACO's tuning cost.
+                breakeven_sum += w_overhead /
+                                 (1.0 - 1.0 / w_speedup);
+                ++breakeven_n;
+            }
+        }
+        std::printf("\n%s overhead and speedup (vs MKL-Naive):\n",
+                    algorithmName(alg).c_str());
+        summarize("MKL", p_mkl);
+        summarize("BestFormat", p_bf);
+        summarize("WACO", p_waco);
+        if (breakeven_n) {
+            std::printf("  WACO amortizes its tuning after ~%.0f "
+                        "invocations on average (paper: 919 for SpMV, 101 "
+                        "for SpMM).\n",
+                        breakeven_sum / breakeven_n);
+        }
+    }
+    std::printf("\n(Shape: MKL cheapest/shallowest; BestFormat mid; WACO "
+                "pays the most search time for the best speedups.)\n");
+    std::printf("[bench completed in %.1fs]\n", total.seconds());
+    return 0;
+}

@@ -1,0 +1,222 @@
+#include "annsearch/hnsw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+namespace waco {
+
+namespace {
+
+/** Max-heap entry ordered by distance (farthest on top). */
+struct FarFirst
+{
+    bool
+    operator()(const HnswHit& a, const HnswHit& b) const
+    {
+        return a.dist < b.dist;
+    }
+};
+
+/** Min-heap entry ordered by distance (closest on top). */
+struct NearFirst
+{
+    bool
+    operator()(const HnswHit& a, const HnswHit& b) const
+    {
+        return a.dist > b.dist;
+    }
+};
+
+} // namespace
+
+Hnsw::Hnsw(u32 dim, u32 m, u32 ef_construction, u64 seed)
+    : dim_(dim), m_(m), efc_(ef_construction), rng_(seed)
+{
+}
+
+double
+Hnsw::l2(const float* a, const float* b) const
+{
+    double s = 0.0;
+    for (u32 i = 0; i < dim_; ++i) {
+        double d = static_cast<double>(a[i]) - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+u32
+Hnsw::greedyAt(const float* q, u32 entry, u32 layer) const
+{
+    u32 cur = entry;
+    double cur_d = l2(q, vec(cur));
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (u32 nb : links_[layer][cur]) {
+            double d = l2(q, vec(nb));
+            if (d < cur_d) {
+                cur_d = d;
+                cur = nb;
+                improved = true;
+            }
+        }
+    }
+    return cur;
+}
+
+std::vector<HnswHit>
+Hnsw::beamAt(const float* q, u32 entry, u32 layer, u32 ef) const
+{
+    std::priority_queue<HnswHit, std::vector<HnswHit>, NearFirst> candidates;
+    std::priority_queue<HnswHit, std::vector<HnswHit>, FarFirst> results;
+    std::unordered_set<u32> visited;
+    double d0 = l2(q, vec(entry));
+    candidates.push({entry, d0});
+    results.push({entry, d0});
+    visited.insert(entry);
+    while (!candidates.empty()) {
+        HnswHit c = candidates.top();
+        candidates.pop();
+        if (c.dist > results.top().dist && results.size() >= ef)
+            break;
+        for (u32 nb : links_[layer][c.id]) {
+            if (!visited.insert(nb).second)
+                continue;
+            double d = l2(q, vec(nb));
+            if (results.size() < ef || d < results.top().dist) {
+                candidates.push({nb, d});
+                results.push({nb, d});
+                if (results.size() > ef)
+                    results.pop();
+            }
+        }
+    }
+    std::vector<HnswHit> out;
+    while (!results.empty()) {
+        out.push_back(results.top());
+        results.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+u32
+Hnsw::add(const float* v)
+{
+    u32 id = size();
+    data_.insert(data_.end(), v, v + dim_);
+    // Exponentially-distributed level, as in the paper (mL = 1/ln(M)).
+    double ml = 1.0 / std::log(static_cast<double>(std::max<u32>(2, m_)));
+    u32 level = static_cast<u32>(
+        -std::log(std::max(1e-12, rng_.uniformReal())) * ml);
+    levels_.push_back(level);
+    while (links_.size() <= level)
+        links_.emplace_back();
+    for (auto& layer : links_)
+        layer.resize(size());
+
+    if (id == 0) {
+        entry_ = 0;
+        max_level_ = level;
+        return id;
+    }
+
+    u32 cur = entry_;
+    for (u32 l = max_level_; l > level && l > 0; --l)
+        cur = greedyAt(v, cur, l);
+
+    for (u32 l = std::min(level, max_level_);; --l) {
+        auto beam = beamAt(v, cur, l, efc_);
+        u32 links = l == 0 ? 2 * m_ : m_;
+        u32 take = std::min<u32>(links, static_cast<u32>(beam.size()));
+        for (u32 t = 0; t < take; ++t) {
+            u32 nb = beam[t].id;
+            links_[l][id].push_back(nb);
+            links_[l][nb].push_back(id);
+            // Prune the neighbor's list to the closest `links` entries.
+            if (links_[l][nb].size() > links) {
+                auto& lst = links_[l][nb];
+                std::sort(lst.begin(), lst.end(), [&](u32 a, u32 b) {
+                    return l2(vec(nb), vec(a)) < l2(vec(nb), vec(b));
+                });
+                lst.resize(links);
+            }
+        }
+        cur = beam.empty() ? cur : beam.front().id;
+        if (l == 0)
+            break;
+    }
+
+    if (level > max_level_) {
+        max_level_ = level;
+        entry_ = id;
+    }
+    return id;
+}
+
+std::vector<HnswHit>
+Hnsw::searchKnn(const float* q, u32 k, u32 ef) const
+{
+    if (size() == 0)
+        return {};
+    u32 cur = entry_;
+    for (u32 l = max_level_; l > 0; --l)
+        cur = greedyAt(q, cur, l);
+    auto beam = beamAt(q, cur, 0, std::max(ef, k));
+    if (beam.size() > k)
+        beam.resize(k);
+    return beam;
+}
+
+std::vector<HnswHit>
+Hnsw::searchGeneric(const std::function<double(u32)>& score, u32 k, u32 ef,
+                    u64* evals) const
+{
+    if (size() == 0)
+        return {};
+    auto eval = [&](u32 id) {
+        if (evals)
+            ++(*evals);
+        return score(id);
+    };
+    // Start from the global entry point and walk layer 0 under the generic
+    // distance with a beam of width ef.
+    std::priority_queue<HnswHit, std::vector<HnswHit>, NearFirst> candidates;
+    std::priority_queue<HnswHit, std::vector<HnswHit>, FarFirst> results;
+    std::unordered_set<u32> visited;
+    double d0 = eval(entry_);
+    candidates.push({entry_, d0});
+    results.push({entry_, d0});
+    visited.insert(entry_);
+    while (!candidates.empty()) {
+        HnswHit c = candidates.top();
+        candidates.pop();
+        if (results.size() >= ef && c.dist > results.top().dist)
+            break;
+        for (u32 nb : links_[0][c.id]) {
+            if (!visited.insert(nb).second)
+                continue;
+            double d = eval(nb);
+            if (results.size() < ef || d < results.top().dist) {
+                candidates.push({nb, d});
+                results.push({nb, d});
+                if (results.size() > ef)
+                    results.pop();
+            }
+        }
+    }
+    std::vector<HnswHit> out;
+    while (!results.empty()) {
+        out.push_back(results.top());
+        results.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    if (out.size() > k)
+        out.resize(k);
+    return out;
+}
+
+} // namespace waco

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Hierarchical Navigable Small World graphs (Malkov & Yashunin [31]), the
+ * ANNS index WACO builds over program embeddings (Section 4.2.2).
+ *
+ * The index is built with the l2 metric between embeddings. At query time
+ * WACO does NOT query with a vector: it walks the same graph greedily under
+ * a *generic* distance — the cost model's predicted runtime — which the KNN
+ * graph's small-world property supports (Tan et al. [44]). searchGeneric()
+ * implements that walk; searchKnn() is the classic vector query (used by
+ * tests and the graph-quality diagnostics).
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/mat.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace waco {
+
+/** One search hit: node id + its distance/score. */
+struct HnswHit
+{
+    u32 id;
+    double dist;
+};
+
+/** HNSW index over fixed-width float vectors. */
+class Hnsw
+{
+  public:
+    /**
+     * @param dim vector width
+     * @param m max neighbors per node per layer (M)
+     * @param ef_construction beam width during insertion
+     */
+    Hnsw(u32 dim, u32 m = 16, u32 ef_construction = 100, u64 seed = 99);
+
+    /** Insert one vector; returns its node id. */
+    u32 add(const float* v);
+
+    /** Number of indexed vectors. */
+    u32 size() const { return static_cast<u32>(levels_.size()); }
+
+    /** Classic KNN query with the l2 metric. */
+    std::vector<HnswHit> searchKnn(const float* q, u32 k, u32 ef = 64) const;
+
+    /**
+     * Greedy beam search under an arbitrary scoring function
+     * score(node id) -> double (lower is better). This is WACO's
+     * search phase: score is the predicted runtime of the node's schedule.
+     *
+     * @param score generic distance; evaluated lazily and memoized by the
+     *        caller if desired
+     * @param k number of results
+     * @param ef beam width
+     * @param evals incremented once per score() call (for Fig. 16 stats)
+     */
+    std::vector<HnswHit> searchGeneric(
+        const std::function<double(u32)>& score, u32 k, u32 ef,
+        u64* evals = nullptr) const;
+
+    /** Layer-0 adjacency of a node (for diagnostics/tests). */
+    const std::vector<u32>& neighbors(u32 id) const
+    {
+        return links_[0][id];
+    }
+
+  private:
+    double l2(const float* a, const float* b) const;
+    const float* vec(u32 id) const { return data_.data() + static_cast<std::size_t>(id) * dim_; }
+
+    /** Greedy descent to the closest node at a layer. */
+    u32 greedyAt(const float* q, u32 entry, u32 layer) const;
+
+    /** Beam search at one layer; returns up to ef closest. */
+    std::vector<HnswHit> beamAt(const float* q, u32 entry, u32 layer,
+                                u32 ef) const;
+
+    u32 dim_;
+    u32 m_;
+    u32 efc_;
+    Rng rng_;
+    std::vector<float> data_;
+    std::vector<u32> levels_;                       ///< Top layer per node.
+    std::vector<std::vector<std::vector<u32>>> links_; ///< [layer][node] -> nbrs.
+    u32 entry_ = 0;
+    u32 max_level_ = 0;
+};
+
+} // namespace waco

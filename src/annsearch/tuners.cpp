@@ -1,0 +1,217 @@
+#include "annsearch/tuners.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+
+namespace waco {
+
+namespace {
+
+/** Shared bookkeeping: evaluate, time, and track the best-so-far curve. */
+struct Recorder
+{
+    const CostFn& cost;
+    TuneResult& result;
+
+    double
+    eval(const SuperSchedule& s)
+    {
+        Timer t;
+        double c = cost(s);
+        result.evalSeconds += t.seconds();
+        ++result.trials;
+        if (result.bestSoFar.empty() || c < result.bestCost) {
+            result.bestCost = c;
+            result.best = s;
+        }
+        result.bestSoFar.push_back(result.bestCost);
+        return c;
+    }
+};
+
+/** Flatten the tunable parameters of a schedule into small integer tokens
+ *  (one per parameter group) for the TPE density estimate. */
+std::vector<u32>
+tokenize(const SuperSchedule& s)
+{
+    std::vector<u32> t;
+    for (u32 idx = 0; idx < 4; ++idx)
+        t.push_back(log2Floor(std::max<u32>(1, s.splits[idx])));
+    t.push_back(s.parallelSlot);
+    t.push_back(s.numThreads);
+    t.push_back(log2Floor(std::max<u32>(1, s.ompChunk)));
+    for (u32 slot : s.loopOrder)
+        t.push_back(slot);
+    for (u32 slot : s.sparseLevelOrder)
+        t.push_back(slot);
+    for (auto f : s.sparseLevelFormats)
+        t.push_back(f == LevelFormat::Compressed ? 1 : 0);
+    for (bool rm : s.denseRowMajor)
+        t.push_back(rm ? 1 : 0);
+    return t;
+}
+
+} // namespace
+
+TuneResult
+RandomSearch::search(const SuperScheduleSpace& space, const CostFn& cost,
+                     u64 trials, u64 seed)
+{
+    TuneResult result;
+    Recorder rec{cost, result};
+    Rng rng(seed);
+    Timer total;
+    for (u64 n = 0; n < trials; ++n)
+        rec.eval(space.sample(rng));
+    result.totalSeconds = total.seconds();
+    return result;
+}
+
+TuneResult
+TpeTuner::search(const SuperScheduleSpace& space, const CostFn& cost,
+                 u64 trials, u64 seed)
+{
+    TuneResult result;
+    Recorder rec{cost, result};
+    Rng rng(seed);
+    Timer total;
+
+    struct Observation
+    {
+        SuperSchedule s;
+        std::vector<u32> tokens;
+        double cost;
+    };
+    std::vector<Observation> history;
+
+    u64 warmup = std::min<u64>(trials, 16);
+    for (u64 n = 0; n < warmup; ++n) {
+        auto s = space.sample(rng);
+        history.push_back({s, tokenize(s), rec.eval(s)});
+    }
+
+    while (result.trials < trials) {
+        // Surrogate update: split history into good (lowest gamma fraction)
+        // and bad, and build per-position token frequency tables. This is
+        // the "metadata" cost that makes Bayesian tuners slow (Fig. 16).
+        std::sort(history.begin(), history.end(),
+                  [](const Observation& a, const Observation& b) {
+                      return a.cost < b.cost;
+                  });
+        std::size_t n_good = std::max<std::size_t>(
+            2, static_cast<std::size_t>(gamma_ * history.size()));
+        n_good = std::min(n_good, history.size());
+        std::size_t n_tokens = history.front().tokens.size();
+        std::vector<std::map<u32, double>> good(n_tokens), bad(n_tokens);
+        for (std::size_t h = 0; h < history.size(); ++h) {
+            auto& tables = h < n_good ? good : bad;
+            for (std::size_t p = 0; p < n_tokens; ++p)
+                tables[p][history[h].tokens[p]] += 1.0;
+        }
+        auto log_ratio = [&](const std::vector<u32>& tokens) {
+            double lr = 0.0;
+            for (std::size_t p = 0; p < n_tokens; ++p) {
+                double g = 1.0, b = 1.0; // Laplace smoothing
+                if (auto it = good[p].find(tokens[p]); it != good[p].end())
+                    g += it->second;
+                if (auto it = bad[p].find(tokens[p]); it != bad[p].end())
+                    b += it->second;
+                lr += std::log(g / static_cast<double>(n_good + 1)) -
+                      std::log(b / static_cast<double>(history.size() -
+                                                       n_good + 1));
+            }
+            return lr;
+        };
+
+        // Generate candidates near good observations + fresh samples, pick
+        // the one maximizing the good/bad density ratio.
+        SuperSchedule best_cand = space.sample(rng);
+        double best_lr = log_ratio(tokenize(best_cand));
+        for (u32 c = 1; c < candidates_; ++c) {
+            SuperSchedule cand = rng.bernoulli(0.3)
+                ? space.sample(rng)
+                : space.mutate(history[rng.index(n_good)].s, rng);
+            double lr = log_ratio(tokenize(cand));
+            if (lr > best_lr) {
+                best_lr = lr;
+                best_cand = cand;
+            }
+        }
+        history.push_back({best_cand, tokenize(best_cand),
+                           rec.eval(best_cand)});
+    }
+    result.totalSeconds = total.seconds();
+    return result;
+}
+
+TuneResult
+BanditEnsembleTuner::search(const SuperScheduleSpace& space, const CostFn& cost,
+                            u64 trials, u64 seed)
+{
+    TuneResult result;
+    Recorder rec{cost, result};
+    Rng rng(seed);
+    Timer total;
+
+    struct Elite
+    {
+        SuperSchedule s;
+        double cost;
+    };
+    std::vector<Elite> elites;
+    auto remember = [&](const SuperSchedule& s, double c) {
+        elites.push_back({s, c});
+        std::sort(elites.begin(), elites.end(),
+                  [](const Elite& a, const Elite& b) {
+                      return a.cost < b.cost;
+                  });
+        if (elites.size() > 12)
+            elites.resize(12);
+    };
+
+    constexpr u32 kArms = 3; // random / mutate-elite / crossover
+    std::array<double, kArms> reward = {1.0, 1.0, 1.0};
+    std::array<double, kArms> pulls = {1.0, 1.0, 1.0};
+
+    for (u64 n = 0; n < trials; ++n) {
+        // UCB1 arm selection (OpenTuner's bandit over operators).
+        u32 arm = 0;
+        double best_ucb = -1.0;
+        for (u32 a = 0; a < kArms; ++a) {
+            double ucb = reward[a] / pulls[a] +
+                         std::sqrt(2.0 * std::log(static_cast<double>(n + 2)) /
+                                   pulls[a]);
+            if (ucb > best_ucb) {
+                best_ucb = ucb;
+                arm = a;
+            }
+        }
+        SuperSchedule cand;
+        if (arm == 0 || elites.empty()) {
+            cand = space.sample(rng);
+        } else if (arm == 1) {
+            cand = space.mutate(elites[rng.index(elites.size())].s, rng);
+        } else {
+            // Crossover: take the compute half from one elite, the format
+            // half from another.
+            const auto& a = elites[rng.index(elites.size())].s;
+            const auto& b = elites[rng.index(elites.size())].s;
+            cand = a;
+            cand.sparseLevelOrder = b.sparseLevelOrder;
+            cand.sparseLevelFormats = b.sparseLevelFormats;
+            cand.denseRowMajor = b.denseRowMajor;
+        }
+        double before = result.bestSoFar.empty() ? 1e30 : result.bestCost;
+        double c = rec.eval(cand);
+        pulls[arm] += 1.0;
+        if (c < before)
+            reward[arm] += 1.0;
+        remember(cand, c);
+    }
+    result.totalSeconds = total.seconds();
+    return result;
+}
+
+} // namespace waco

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Black-box SuperSchedule tuners compared against ANNS in Figure 16:
+ *
+ *  - RandomSearch       — uniform sampling baseline.
+ *  - TpeTuner           — a Tree-structured Parzen Estimator in the style
+ *                         of HyperOpt [6]: candidates are scored by the
+ *                         good/bad density ratio of their parameters, and
+ *                         the surrogate bookkeeping dominates the runtime,
+ *                         exactly the overhead the paper measures.
+ *  - BanditEnsembleTuner— an OpenTuner-style [3] multi-armed-bandit
+ *                         ensemble of search operators (random, mutate
+ *                         elite, crossover).
+ *
+ * All tuners minimize an arbitrary cost function over a SuperScheduleSpace
+ * and report how much of their wall time was spent inside the cost function
+ * versus on their own metadata (the Section 4.2 proportion argument).
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/schedule.hpp"
+#include "util/timer.hpp"
+
+namespace waco {
+
+/** Cost callback: predicted runtime of a schedule (lower is better). */
+using CostFn = std::function<double(const SuperSchedule&)>;
+
+/** Outcome of one tuning run. */
+struct TuneResult
+{
+    SuperSchedule best;
+    double bestCost = 0.0;
+    u64 trials = 0;              ///< Cost-function evaluations.
+    double totalSeconds = 0.0;   ///< Whole search wall time.
+    double evalSeconds = 0.0;    ///< Time inside the cost function.
+    std::vector<double> bestSoFar; ///< Best cost after each trial (Fig 16a).
+
+    /** Fraction of time spent evaluating costs (higher = leaner tuner). */
+    double
+    evalProportion() const
+    {
+        return totalSeconds > 0.0 ? evalSeconds / totalSeconds : 0.0;
+    }
+};
+
+/** Interface for black-box tuners. */
+class Tuner
+{
+  public:
+    virtual ~Tuner() = default;
+    virtual std::string name() const = 0;
+
+    /** Minimize @p cost with at most @p trials evaluations. */
+    virtual TuneResult search(const SuperScheduleSpace& space,
+                              const CostFn& cost, u64 trials, u64 seed) = 0;
+};
+
+/** Uniform random sampling. */
+class RandomSearch final : public Tuner
+{
+  public:
+    std::string name() const override { return "Random"; }
+    TuneResult search(const SuperScheduleSpace& space, const CostFn& cost,
+                      u64 trials, u64 seed) override;
+};
+
+/** HyperOpt-style TPE. */
+class TpeTuner final : public Tuner
+{
+  public:
+    explicit TpeTuner(double gamma = 0.25, u32 candidates_per_step = 24)
+        : gamma_(gamma), candidates_(candidates_per_step)
+    {}
+
+    std::string name() const override { return "HyperOpt(TPE)"; }
+    TuneResult search(const SuperScheduleSpace& space, const CostFn& cost,
+                      u64 trials, u64 seed) override;
+
+  private:
+    double gamma_;
+    u32 candidates_;
+};
+
+/** OpenTuner-style bandit ensemble. */
+class BanditEnsembleTuner final : public Tuner
+{
+  public:
+    std::string name() const override { return "OpenTuner(bandit)"; }
+    TuneResult search(const SuperScheduleSpace& space, const CostFn& cost,
+                      u64 trials, u64 seed) override;
+};
+
+} // namespace waco

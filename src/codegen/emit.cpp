@@ -1,0 +1,159 @@
+#include "codegen/emit.hpp"
+
+#include <sstream>
+
+namespace waco {
+
+namespace {
+
+/** Human-readable loop variable for a slot ("i1", "k0", or "i" when the
+ *  index is unsplit). */
+std::string
+slotVar(const AlgorithmInfo& info, const SuperSchedule& s, u32 slot)
+{
+    std::string base = info.indexNames[slotIndex(slot)];
+    if (s.splits[slotIndex(slot)] == 1)
+        return base;
+    return base + (slotIsInner(slot) ? "0" : "1");
+}
+
+/** The compute statement of each kernel, in terms of full index names. */
+std::string
+computeStatement(Algorithm alg)
+{
+    switch (alg) {
+      case Algorithm::SpMV:
+        return "C[i] += A_vals[pA] * B[k];";
+      case Algorithm::SpMM:
+        return "C[i * J + j] += A_vals[pA] * B[k * J + j];";
+      case Algorithm::SDDMM:
+        return "D_vals[pA] += A_vals[pA] * B[i * K + k] * C[k * J + j];";
+      case Algorithm::MTTKRP:
+        return "D[i * J + j] += A_vals[pA] * B[k * J + j] * C[l * J + j];";
+    }
+    panic("unknown algorithm");
+}
+
+} // namespace
+
+std::string
+emitC(const SuperSchedule& s, const ProblemShape& shape)
+{
+    const auto& info = algorithmInfo(s.alg);
+    validateSchedule(s, shape);
+    std::ostringstream os;
+
+    auto fmt = formatOf(s, shape);
+    auto level_order = activeSparseLevelOrder(s);
+    auto level_fmts = activeSparseLevelFormats(s);
+    auto loops = activeLoopOrder(s);
+
+    os << "// " << algorithmName(s.alg) << ": " << info.einsum << "\n";
+    os << "// A stored as " << fmt.name() << "; "
+       << "generated for a SuperSchedule with key\n";
+    os << "//   " << s.key() << "\n";
+
+    // Reconstruction of full indices from split halves.
+    std::string reconstruct;
+    for (u32 idx = 0; idx < info.numIndices; ++idx) {
+        u32 split = std::min(s.splits[idx], shape.indexExtent[idx]);
+        if (split > 1) {
+            reconstruct += "int " + std::string(info.indexNames[idx]) +
+                           " = " + info.indexNames[idx] + "1 * " +
+                           std::to_string(split) + " + " +
+                           info.indexNames[idx] + "0;";
+        }
+    }
+
+    // Map each sparse slot to its format-level position.
+    auto level_of = [&](u32 slot) -> int {
+        for (std::size_t l = 0; l < level_order.size(); ++l) {
+            if (level_order[l] == slot)
+                return static_cast<int>(l);
+        }
+        return -1;
+    };
+
+    std::string indent;
+    std::vector<bool> level_open(level_order.size(), false);
+    u32 emitted_levels = 0;
+
+    for (std::size_t pos = 0; pos < loops.size(); ++pos) {
+        u32 slot = loops[pos];
+        u32 idx = slotIndex(slot);
+        std::string var = slotVar(info, s, slot);
+        u32 extent = slotExtent(s, shape, slot);
+
+        if (slot == s.parallelSlot) {
+            os << indent << "#pragma omp parallel for schedule(dynamic, "
+               << s.ompChunk << ") num_threads(" << s.numThreads << ")\n";
+        }
+
+        int level = info.sparseDim[idx] >= 0 ? level_of(slot) : -1;
+        if (level < 0) {
+            // Dense loop (dense-only index, or a sparse index's slot that
+            // degenerated out of the format — not possible for active
+            // slots, so this is the dense-operand case).
+            os << indent << "for (int " << var << " = 0; " << var << " < "
+               << extent << "; " << var << "++) {\n";
+        } else if (static_cast<u32>(level) == emitted_levels) {
+            // Concordant: this is the next storage level of A.
+            if (level_fmts[level] == LevelFormat::Uncompressed) {
+                os << indent << "for (int " << var << " = 0; " << var
+                   << " < " << extent << "; " << var << "++) {"
+                   << "  // A level " << level << ": U\n";
+            } else {
+                std::string parent =
+                    level == 0 ? "0 .. 1" : "pA_" + std::to_string(level - 1);
+                os << indent << "for (int p" << level << " = A" << level
+                   << "_pos[" << (level == 0 ? "0" : parent) << "]; p"
+                   << level << " < A" << level << "_pos["
+                   << (level == 0 ? "1" : parent + " + 1") << "]; p" << level
+                   << "++) {  // A level " << level << ": C\n";
+                os << indent << "    int " << var << " = A" << level
+                   << "_crd[p" << level << "];\n";
+            }
+            level_open[level] = true;
+            ++emitted_levels;
+            // Any deeper levels whose loops were already opened above us
+            // (discordant) can now be located.
+            while (emitted_levels < level_order.size() &&
+                   [&] {
+                       for (std::size_t q = 0; q < pos; ++q) {
+                           if (loops[q] == level_order[emitted_levels])
+                               return true;
+                       }
+                       return false;
+                   }()) {
+                u32 dslot = level_order[emitted_levels];
+                os << indent << "    // discordant: locate "
+                   << slotVar(info, s, dslot) << " in A level "
+                   << emitted_levels
+                   << (level_fmts[emitted_levels] == LevelFormat::Compressed
+                           ? " via binary search over A_crd\n"
+                           : " via direct offset\n");
+                ++emitted_levels;
+            }
+        } else {
+            // Discordant: loop over the full coordinate range now; the
+            // matching storage position is located when the format levels
+            // above it have been traversed.
+            os << indent << "for (int " << var << " = 0; " << var << " < "
+               << extent << "; " << var
+               << "++) {  // discordant with A's level order\n";
+        }
+        indent += "    ";
+    }
+
+    os << indent << "// pA: position of the current A value\n";
+    if (!reconstruct.empty())
+        os << indent << reconstruct << "\n";
+    os << indent << computeStatement(s.alg) << "\n";
+    for (std::size_t pos = loops.size(); pos-- > 0;) {
+        indent.resize(indent.size() - 4);
+        os << indent << "}\n";
+    }
+    return os.str();
+}
+
+} // namespace waco

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * TACO-style C code emission for a SuperSchedule (the paper's Figure 10c
+ * shows such generated code). WACO executes schedules through the
+ * interpreter in src/exec, but emitting the equivalent C loop nest makes
+ * the chosen format+schedule inspectable and portable: the output compiles
+ * conceptually against pos/crd/vals arrays produced by HierSparseTensor.
+ *
+ * Sparse levels reached in storage order emit sequential pos/crd loops;
+ * levels whose loop is ordered discordantly emit an explicit binary-search
+ * locate, mirroring what TACO generates for discordant traversals
+ * (Section 3.1).
+ */
+#pragma once
+
+#include <string>
+
+#include "ir/schedule.hpp"
+
+namespace waco {
+
+/** Emit C-like source implementing @p s on @p shape. */
+std::string emitC(const SuperSchedule& s, const ProblemShape& shape);
+
+} // namespace waco

@@ -1,0 +1,141 @@
+#include "core/dataset.hpp"
+
+#include <unordered_set>
+
+#include "util/logging.hpp"
+
+namespace waco {
+
+namespace {
+
+void
+splitTrainVal(CostDataset& ds, Rng& rng)
+{
+    std::vector<u32> ids(ds.entries.size());
+    for (u32 i = 0; i < ids.size(); ++i)
+        ids[i] = i;
+    rng.shuffle(ids);
+    // 80:20 split as in the paper; keep at least one validation entry.
+    std::size_t n_train =
+        std::max<std::size_t>(1, ids.size() * 8 / 10);
+    if (n_train == ids.size() && ids.size() > 1)
+        --n_train;
+    ds.trainIds.assign(ids.begin(), ids.begin() + n_train);
+    ds.valIds.assign(ids.begin() + n_train, ids.end());
+}
+
+void
+sampleEntry(DatasetEntry& e, Algorithm alg, const RuntimeOracle& oracle,
+            u32 schedules_per_matrix, Rng& rng)
+{
+    SuperScheduleSpace space(alg, e.shape);
+    std::unordered_set<std::string> seen;
+
+    auto add = [&](const SuperSchedule& s) {
+        if (!seen.insert(s.key()).second)
+            return;
+        Measurement m = e.is3d ? oracle.measure(e.tensor, e.shape, s)
+                               : oracle.measure(e.matrix, e.shape, s);
+        if (m.valid) // invalid = excluded, like the paper's >1min timeouts
+            e.samples.push_back({s, m.seconds});
+    };
+
+    // Anchor schedules: the defaults plus the classic format families and
+    // an OpenMP chunk sweep. The paper's 100-random-samples-per-matrix over
+    // 21k matrices covers these corners by volume; at our reduced scale we
+    // include them explicitly so the KNN graph contains the known-good
+    // neighborhoods.
+    for (u32 chunk = 1; chunk <= 256; chunk *= 4)
+        add(defaultSchedule(e.shape, chunk));
+    {
+        auto s24 = defaultSchedule(e.shape);
+        s24.numThreads = 24;
+        add(s24);
+    }
+    if (!e.is3d) {
+        for (const auto& s : wellKnownFormatSchedules(e.shape)) {
+            add(s);
+            auto fine = s;
+            fine.ompChunk = 4;
+            add(fine);
+        }
+    }
+
+    // Random exploration on top of the anchors (the paper's uniform
+    // sampling), so every matrix gets schedules_per_matrix random draws.
+    std::size_t target = e.samples.size() + schedules_per_matrix;
+    u32 attempts = 0;
+    while (e.samples.size() < target && attempts < schedules_per_matrix * 4) {
+        ++attempts;
+        add(space.sample(rng));
+    }
+}
+
+} // namespace
+
+std::vector<SuperSchedule>
+CostDataset::allSchedules() const
+{
+    std::vector<SuperSchedule> out;
+    std::unordered_set<std::string> seen;
+    for (const auto& e : entries) {
+        for (const auto& s : e.samples) {
+            if (seen.insert(s.schedule.key()).second)
+                out.push_back(s.schedule);
+        }
+    }
+    return out;
+}
+
+CostDataset
+buildDataset(Algorithm alg, const std::vector<SparseMatrix>& corpus,
+             const RuntimeOracle& oracle, u32 schedules_per_matrix, u64 seed)
+{
+    fatalIf(algorithmInfo(alg).sparseOrder != 2,
+            "buildDataset requires a matrix algorithm");
+    Rng rng(seed);
+    CostDataset ds;
+    ds.alg = alg;
+    for (const auto& m : corpus) {
+        DatasetEntry e;
+        e.name = m.name();
+        e.matrix = m;
+        e.shape = ProblemShape::forMatrix(alg, m.rows(), m.cols());
+        e.pattern = PatternInput::fromMatrix(m);
+        sampleEntry(e, alg, oracle, schedules_per_matrix, rng);
+        if (e.samples.size() >= 2)
+            ds.entries.push_back(std::move(e));
+        else
+            logWarn("dropping matrix with too few valid schedules: " + m.name());
+    }
+    fatalIf(ds.entries.empty(), "dataset has no usable entries");
+    splitTrainVal(ds, rng);
+    return ds;
+}
+
+CostDataset
+buildDataset3d(Algorithm alg, const std::vector<Sparse3Tensor>& corpus,
+               const RuntimeOracle& oracle, u32 schedules_per_matrix, u64 seed)
+{
+    fatalIf(algorithmInfo(alg).sparseOrder != 3,
+            "buildDataset3d requires a 3D algorithm");
+    Rng rng(seed);
+    CostDataset ds;
+    ds.alg = alg;
+    for (const auto& t : corpus) {
+        DatasetEntry e;
+        e.name = t.name();
+        e.is3d = true;
+        e.tensor = t;
+        e.shape = ProblemShape::forTensor3(alg, t.dimI(), t.dimK(), t.dimL());
+        e.pattern = PatternInput::fromTensor3(t);
+        sampleEntry(e, alg, oracle, schedules_per_matrix, rng);
+        if (e.samples.size() >= 2)
+            ds.entries.push_back(std::move(e));
+    }
+    fatalIf(ds.entries.empty(), "dataset has no usable entries");
+    splitTrainVal(ds, rng);
+    return ds;
+}
+
+} // namespace waco

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Training-data pipeline (Section 4.1.3): for each input pattern, sample
+ * random SuperSchedules and label them with the runtime oracle, producing
+ * the (Sparse Matrix, SuperSchedule, Ground Truth Runtime) tuples of
+ * Figure 1a. Schedules whose formats blow the storage budget are excluded,
+ * mirroring the paper's exclusion of >1-minute configurations. Entries are
+ * split 80:20 into train and validation sets.
+ */
+#pragma once
+
+#include <vector>
+
+#include "model/feature_extractor.hpp"
+#include "perfmodel/cost_model.hpp"
+
+namespace waco {
+
+/** One labeled (schedule, runtime) pair. */
+struct ScheduleSample
+{
+    SuperSchedule schedule;
+    double runtime;
+};
+
+/** One input pattern with its labeled schedules. */
+struct DatasetEntry
+{
+    std::string name;
+    bool is3d = false;
+    SparseMatrix matrix;     ///< Valid when !is3d.
+    Sparse3Tensor tensor;    ///< Valid when is3d.
+    ProblemShape shape;
+    PatternInput pattern;
+    std::vector<ScheduleSample> samples;
+};
+
+/** A full cost-model training set for one algorithm. */
+struct CostDataset
+{
+    Algorithm alg = Algorithm::SpMV;
+    std::vector<DatasetEntry> entries;
+    std::vector<u32> trainIds;
+    std::vector<u32> valIds;
+
+    /** All distinct schedules in the dataset (KNN-graph node set). */
+    std::vector<SuperSchedule> allSchedules() const;
+};
+
+/** Label a 2D corpus (SpMV / SpMM / SDDMM). */
+CostDataset buildDataset(Algorithm alg,
+                         const std::vector<SparseMatrix>& corpus,
+                         const RuntimeOracle& oracle, u32 schedules_per_matrix,
+                         u64 seed);
+
+/** Label a 3D corpus (MTTKRP). */
+CostDataset buildDataset3d(Algorithm alg,
+                           const std::vector<Sparse3Tensor>& corpus,
+                           const RuntimeOracle& oracle,
+                           u32 schedules_per_matrix, u64 seed);
+
+} // namespace waco

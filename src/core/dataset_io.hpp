@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Binary (de)serialization of labeled cost datasets, so the expensive
+ * oracle-labeling pass (Figure 1a) runs once and every bench/tool reuses
+ * it. The format is versioned and self-describing enough to reject
+ * mismatched files loudly instead of mis-parsing them.
+ */
+#pragma once
+
+#include <string>
+
+#include "core/dataset.hpp"
+
+namespace waco {
+
+/** Serialize a dataset (matrices/tensors + labeled schedules) to @p path. */
+void saveDataset(const CostDataset& ds, const std::string& path);
+
+/** Load a dataset saved by saveDataset.
+ *  @throws FatalError on I/O errors or format mismatch. */
+CostDataset loadDataset(const std::string& path);
+
+/** Serialize one SuperSchedule to a compact binary blob (also used by the
+ *  dataset format). */
+void writeSchedule(std::ostream& out, const SuperSchedule& s);
+
+/** Inverse of writeSchedule. */
+SuperSchedule readSchedule(std::istream& in);
+
+} // namespace waco

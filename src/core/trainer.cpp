@@ -1,0 +1,76 @@
+#include "core/trainer.hpp"
+
+#include "util/timer.hpp"
+
+namespace waco {
+
+namespace {
+
+/** Draw a batch of (schedule, runtime) pairs from an entry. */
+void
+drawBatch(const DatasetEntry& e, u32 batch, Rng& rng,
+          std::vector<SuperSchedule>& schedules, std::vector<double>& runtimes)
+{
+    schedules.clear();
+    runtimes.clear();
+    u32 n = std::min<u32>(batch, static_cast<u32>(e.samples.size()));
+    auto perm = rng.permutation(static_cast<u32>(e.samples.size()));
+    for (u32 i = 0; i < n; ++i) {
+        schedules.push_back(e.samples[perm[i]].schedule);
+        runtimes.push_back(e.samples[perm[i]].runtime);
+    }
+}
+
+} // namespace
+
+std::vector<EpochStats>
+trainCostModel(WacoCostModel& model, const CostDataset& dataset,
+               const TrainOptions& opt,
+               const std::function<void(const EpochStats&)>& on_epoch)
+{
+    Rng rng(opt.seed);
+    std::vector<EpochStats> history;
+    std::vector<SuperSchedule> schedules;
+    std::vector<double> runtimes;
+
+    for (u32 epoch = 0; epoch < opt.epochs; ++epoch) {
+        Timer timer;
+        EpochStats stats;
+        stats.epoch = epoch;
+
+        auto order = dataset.trainIds;
+        rng.shuffle(order);
+        double train_loss = 0.0;
+        for (u32 id : order) {
+            drawBatch(dataset.entries[id], opt.batchSchedules, rng, schedules,
+                      runtimes);
+            train_loss += model.trainStep(dataset.entries[id].pattern,
+                                          schedules, runtimes, opt.useL2);
+        }
+        stats.trainLoss = order.empty() ? 0.0 : train_loss / order.size();
+
+        double val_loss = 0.0, val_acc = 0.0;
+        Rng val_rng(opt.seed + 1); // fixed batches across epochs
+        for (u32 id : dataset.valIds) {
+            drawBatch(dataset.entries[id], opt.batchSchedules, val_rng,
+                      schedules, runtimes);
+            val_loss += model.evalLoss(dataset.entries[id].pattern, schedules,
+                                       runtimes, opt.useL2);
+            val_acc += model.evalOrderAccuracy(dataset.entries[id].pattern,
+                                               schedules, runtimes);
+        }
+        if (!dataset.valIds.empty()) {
+            val_loss /= dataset.valIds.size();
+            val_acc /= dataset.valIds.size();
+        }
+        stats.valLoss = val_loss;
+        stats.valOrderAccuracy = val_acc;
+        stats.seconds = timer.seconds();
+        history.push_back(stats);
+        if (on_epoch)
+            on_epoch(stats);
+    }
+    return history;
+}
+
+} // namespace waco

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cost-model training loop (Section 4.1.3): per matrix, batches of
+ * SuperSchedules are ranked with the pairwise hinge loss and optimized with
+ * Adam. Reports per-epoch train/validation losses (the Figure 15 curves).
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "model/waco_model.hpp"
+
+namespace waco {
+
+/** Loss trajectory of one epoch. */
+struct EpochStats
+{
+    u32 epoch = 0;
+    double trainLoss = 0.0;
+    double valLoss = 0.0;
+    double valOrderAccuracy = 0.0;
+    double seconds = 0.0;
+};
+
+/** Training options. */
+struct TrainOptions
+{
+    u32 epochs = 12;
+    u32 batchSchedules = 16; ///< Schedules ranked together per matrix step.
+    bool useL2 = false;      ///< Ablation: L2 regression instead of ranking.
+    u64 seed = 7;
+};
+
+/**
+ * Train @p model on @p dataset.
+ * @param on_epoch optional progress callback.
+ * @return one EpochStats per epoch.
+ */
+std::vector<EpochStats> trainCostModel(
+    WacoCostModel& model, const CostDataset& dataset, const TrainOptions& opt,
+    const std::function<void(const EpochStats&)>& on_epoch = nullptr);
+
+} // namespace waco

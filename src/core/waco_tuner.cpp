@@ -1,0 +1,160 @@
+#include "core/waco_tuner.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace waco {
+
+WacoTuner::WacoTuner(Algorithm alg, MachineConfig machine, WacoOptions opt)
+    : alg_(alg), oracle_(std::move(machine)), opt_(std::move(opt))
+{
+    model_ = std::make_unique<WacoCostModel>(alg_, opt_.extractor,
+                                             opt_.extractorConfig, opt_.seed);
+}
+
+std::vector<EpochStats>
+WacoTuner::train(const std::vector<SparseMatrix>& corpus)
+{
+    logInfo("building " + algorithmName(alg_) + " dataset from " +
+            std::to_string(corpus.size()) + " matrices");
+    dataset_ = buildDataset(alg_, corpus, oracle_, opt_.schedulesPerMatrix,
+                            opt_.seed);
+    return trainOnDataset(dataset_);
+}
+
+std::vector<EpochStats>
+WacoTuner::train3d(const std::vector<Sparse3Tensor>& corpus)
+{
+    dataset_ = buildDataset3d(alg_, corpus, oracle_, opt_.schedulesPerMatrix,
+                              opt_.seed);
+    return trainOnDataset(dataset_);
+}
+
+std::vector<EpochStats>
+WacoTuner::trainOnDataset(const CostDataset& dataset)
+{
+    if (&dataset != &dataset_)
+        dataset_ = dataset;
+    auto stats = trainCostModel(*model_, dataset_, opt_.train,
+                                [&](const EpochStats& e) {
+        LogLine(LogLevel::Info)
+            << algorithmName(alg_) << " epoch " << e.epoch << " train "
+            << e.trainLoss << " val " << e.valLoss << " acc "
+            << e.valOrderAccuracy;
+    });
+    buildGraph();
+    return stats;
+}
+
+void
+WacoTuner::attachDataset(const CostDataset& dataset)
+{
+    dataset_ = dataset;
+    buildGraph();
+}
+
+void
+WacoTuner::buildGraph()
+{
+    nodes_ = dataset_.allSchedules();
+    fatalIf(nodes_.empty(), "cannot build a KNN graph with no schedules");
+    // Embed in chunks to bound peak memory.
+    node_embeddings_ = nn::Mat(static_cast<u32>(nodes_.size()),
+                               model_->embeddingDim());
+    constexpr u32 kChunk = 256;
+    for (u32 base = 0; base < nodes_.size(); base += kChunk) {
+        u32 end = std::min<u32>(static_cast<u32>(nodes_.size()), base + kChunk);
+        std::vector<SuperSchedule> chunk(nodes_.begin() + base,
+                                         nodes_.begin() + end);
+        nn::Mat emb = model_->programEmbeddings(chunk);
+        for (u32 n = 0; n < emb.rows; ++n) {
+            std::copy(emb.row(n), emb.row(n) + emb.cols,
+                      node_embeddings_.row(base + n));
+        }
+    }
+    graph_ = std::make_unique<Hnsw>(model_->embeddingDim(), opt_.hnswM,
+                                    opt_.efConstruction, opt_.seed);
+    for (u32 n = 0; n < node_embeddings_.rows; ++n)
+        graph_->add(node_embeddings_.row(n));
+    logInfo("KNN graph built over " + std::to_string(nodes_.size()) +
+            " SuperSchedules");
+}
+
+TuneOutcome
+WacoTuner::tuneImpl(
+    const PatternInput& pattern, const ProblemShape& shape,
+    const std::function<Measurement(const SuperSchedule&)>& measure)
+{
+    fatalIf(!graph_, "WacoTuner::tune called before train()");
+    TuneOutcome out;
+
+    // Phase 1 (Fig 16b): run the feature extractor once for this input.
+    Timer feature_timer;
+    nn::Mat feature = model_->extractFeature(pattern);
+    out.featureSeconds = feature_timer.seconds();
+
+    // Phase 2: ANNS over the KNN graph; only the predictor head runs.
+    Timer search_timer;
+    nn::Mat one(1, node_embeddings_.cols);
+    auto score = [&](u32 id) {
+        std::copy(node_embeddings_.row(id),
+                  node_embeddings_.row(id) + node_embeddings_.cols,
+                  one.row(0));
+        nn::Mat pred = model_->predictFromEmbeddings(feature, one);
+        return static_cast<double>(pred.at(0, 0));
+    };
+    auto hits = graph_->searchGeneric(score, opt_.topK,
+                                      std::max(opt_.efSearch, opt_.topK),
+                                      &out.costEvaluations);
+    out.searchSeconds = search_timer.seconds();
+
+    // Phase 3: re-measure the top-k on the "hardware" and keep the fastest
+    // (the paper's Section 5.2 protocol).
+    Timer measure_timer;
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& hit : hits) {
+        const SuperSchedule& s = nodes_[hit.id];
+        Measurement m = measure(s);
+        out.topK.push_back(s);
+        out.topKMeasured.push_back(m);
+        if (m.valid && m.seconds < best) {
+            best = m.seconds;
+            out.best = s;
+            out.bestMeasured = m;
+        }
+    }
+    out.remeasureSeconds = measure_timer.seconds();
+    if (!std::isfinite(best)) {
+        // Every candidate was invalid for this shape; fall back to default.
+        out.best = defaultSchedule(shape);
+        out.bestMeasured = measure(out.best);
+    }
+    out.convertSeconds = oracle_.conversionSeconds(
+        pattern.coords.size(), out.bestMeasured.storedValues);
+    return out;
+}
+
+TuneOutcome
+WacoTuner::tune(const SparseMatrix& m)
+{
+    auto shape = ProblemShape::forMatrix(alg_, m.rows(), m.cols());
+    auto pattern = PatternInput::fromMatrix(m);
+    return tuneImpl(pattern, shape, [&](const SuperSchedule& s) {
+        return oracle_.measure(m, shape, s);
+    });
+}
+
+TuneOutcome
+WacoTuner::tune3d(const Sparse3Tensor& t)
+{
+    auto shape = ProblemShape::forTensor3(alg_, t.dimI(), t.dimK(), t.dimL());
+    auto pattern = PatternInput::fromTensor3(t);
+    return tuneImpl(pattern, shape, [&](const SuperSchedule& s) {
+        return oracle_.measure(t, shape, s);
+    });
+}
+
+} // namespace waco

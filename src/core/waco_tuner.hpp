@@ -1,0 +1,120 @@
+/**
+ * @file
+ * WacoTuner — the end-to-end system of Figure 1 and the library's main
+ * public API.
+ *
+ *  (a) train(): label a corpus with the runtime oracle and fit the cost
+ *      model (WACONet + program embedder + predictor, ranking loss).
+ *  (b) buildGraph(): embed every training SuperSchedule and build the HNSW
+ *      KNN graph over the program embeddings (l2 metric).
+ *  (c) tune(): for a new matrix, extract the sparsity feature once, walk
+ *      the graph under the predicted-cost metric (ANNS), re-measure the
+ *      top-k candidates on the "hardware" (oracle), and return the winner —
+ *      exactly the paper's evaluation protocol (Section 5.2 reports the
+ *      fastest of the top-10).
+ */
+#pragma once
+
+#include <memory>
+
+#include "annsearch/hnsw.hpp"
+#include "core/dataset.hpp"
+#include "core/trainer.hpp"
+#include "model/waco_model.hpp"
+#include "perfmodel/cost_model.hpp"
+
+namespace waco {
+
+/** Knobs for the whole pipeline (paper defaults, shrinkable for tests). */
+struct WacoOptions
+{
+    std::string extractor = "waconet";
+    ExtractorConfig extractorConfig = {};
+    u32 schedulesPerMatrix = 40; ///< Paper samples 100 per matrix.
+    TrainOptions train = {};
+    u32 hnswM = 16;
+    u32 efConstruction = 60;
+    u32 efSearch = 40;
+    u32 topK = 10;               ///< Re-measured candidates (Section 5.2).
+    u64 seed = 42;
+};
+
+/** Result of tuning one input. */
+struct TuneOutcome
+{
+    SuperSchedule best;
+    Measurement bestMeasured;
+    std::vector<SuperSchedule> topK;
+    std::vector<Measurement> topKMeasured;
+
+    double featureSeconds = 0.0;    ///< Feature-extractor part (Fig 16b).
+    double searchSeconds = 0.0;     ///< ANNS walk part (Fig 16b).
+    double remeasureSeconds = 0.0;  ///< Top-k validation on "hardware".
+    double convertSeconds = 0.0;    ///< COO -> chosen format conversion.
+    u64 costEvaluations = 0;        ///< Predictor-head calls during ANNS.
+
+    /** Total tuning overhead T_tuning of Section 5.6. */
+    double
+    tuningSeconds() const
+    {
+        return featureSeconds + searchSeconds + remeasureSeconds;
+    }
+};
+
+/** Workload-aware co-optimizer for one algorithm on one machine. */
+class WacoTuner
+{
+  public:
+    WacoTuner(Algorithm alg, MachineConfig machine, WacoOptions opt = {});
+
+    Algorithm algorithm() const { return alg_; }
+    const RuntimeOracle& oracle() const { return oracle_; }
+    WacoCostModel& model() { return *model_; }
+
+    /** Build dataset from a 2D corpus, train the model, build the graph. */
+    std::vector<EpochStats> train(const std::vector<SparseMatrix>& corpus);
+
+    /** Same for a 3D corpus (MTTKRP). */
+    std::vector<EpochStats> train3d(const std::vector<Sparse3Tensor>& corpus);
+
+    /** Train on a pre-built dataset (lets benches share datasets). */
+    std::vector<EpochStats> trainOnDataset(const CostDataset& dataset);
+
+    /**
+     * Attach a dataset and build the KNN graph WITHOUT training — for use
+     * after loading pre-trained model parameters from disk. The dataset
+     * must be the one the loaded model was trained on (rebuilding it is
+     * cheap and deterministic).
+     */
+    void attachDataset(const CostDataset& dataset);
+
+    /** Co-optimize the format and schedule for a new matrix. */
+    TuneOutcome tune(const SparseMatrix& m);
+
+    /** Co-optimize for a new 3D tensor. */
+    TuneOutcome tune3d(const Sparse3Tensor& t);
+
+    /** Schedules indexed by the KNN graph (exposed for benches/tests). */
+    const std::vector<SuperSchedule>& graphSchedules() const { return nodes_; }
+
+    /** The labeled dataset from the last train() call. */
+    const CostDataset& dataset() const { return dataset_; }
+
+  private:
+    void buildGraph();
+    TuneOutcome tuneImpl(const PatternInput& pattern,
+                         const ProblemShape& shape,
+                         const std::function<Measurement(
+                             const SuperSchedule&)>& measure);
+
+    Algorithm alg_;
+    RuntimeOracle oracle_;
+    WacoOptions opt_;
+    std::unique_ptr<WacoCostModel> model_;
+    CostDataset dataset_;
+    std::vector<SuperSchedule> nodes_;
+    nn::Mat node_embeddings_;
+    std::unique_ptr<Hnsw> graph_;
+};
+
+} // namespace waco

@@ -1,0 +1,326 @@
+#include "data/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace waco {
+
+SparseMatrix
+genUniform(u32 rows, u32 cols, u64 nnz, Rng& rng)
+{
+    std::vector<Triplet> t;
+    t.reserve(nnz);
+    for (u64 n = 0; n < nnz; ++n) {
+        t.push_back({static_cast<u32>(rng.index(rows)),
+                     static_cast<u32>(rng.index(cols)),
+                     static_cast<float>(rng.uniformReal(0.1, 1.0))});
+    }
+    return SparseMatrix(rows, cols, std::move(t), "uniform");
+}
+
+SparseMatrix
+genPowerLawRows(u32 rows, u32 cols, u64 nnz, double alpha, Rng& rng,
+                bool scatter)
+{
+    // Zipf row weights: row r gets weight (r+1)^-alpha, optionally under a
+    // random permutation so the heavy rows are scattered.
+    std::vector<double> weights(rows);
+    for (u32 r = 0; r < rows; ++r)
+        weights[r] = std::pow(static_cast<double>(r + 1), -alpha);
+    std::vector<u32> perm;
+    if (scatter) {
+        perm = rng.permutation(rows);
+    } else {
+        perm.resize(rows);
+        for (u32 r = 0; r < rows; ++r)
+            perm[r] = r;
+    }
+    std::vector<Triplet> t;
+    t.reserve(nnz);
+    // Sample rows by inverse-CDF over the Zipf weights.
+    std::vector<double> cdf(rows);
+    double acc = 0.0;
+    for (u32 r = 0; r < rows; ++r) {
+        acc += weights[r];
+        cdf[r] = acc;
+    }
+    for (u64 n = 0; n < nnz; ++n) {
+        double u = rng.uniformReal(0.0, acc);
+        u32 r = static_cast<u32>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+        r = std::min(r, rows - 1);
+        t.push_back({perm[r], static_cast<u32>(rng.index(cols)),
+                     static_cast<float>(rng.uniformReal(0.1, 1.0))});
+    }
+    return SparseMatrix(rows, cols, std::move(t), "powerlaw");
+}
+
+SparseMatrix
+genBanded(u32 rows, u32 cols, u32 bandwidth, double fill, Rng& rng)
+{
+    std::vector<Triplet> t;
+    for (u32 r = 0; r < rows; ++r) {
+        i64 center = static_cast<i64>(r) * cols / rows;
+        i64 lo = std::max<i64>(0, center - bandwidth);
+        i64 hi = std::min<i64>(cols - 1, center + bandwidth);
+        for (i64 c = lo; c <= hi; ++c) {
+            if (rng.bernoulli(fill)) {
+                t.push_back({r, static_cast<u32>(c),
+                             static_cast<float>(rng.uniformReal(0.1, 1.0))});
+            }
+        }
+    }
+    if (t.empty())
+        t.push_back({0, 0, 1.0f});
+    return SparseMatrix(rows, cols, std::move(t), "banded");
+}
+
+SparseMatrix
+genDenseBlocks(u32 rows, u32 cols, u32 block, u32 num_blocks, double block_fill,
+               Rng& rng)
+{
+    std::vector<Triplet> t;
+    u32 brs = std::max<u32>(1, rows / block);
+    u32 bcs = std::max<u32>(1, cols / block);
+    for (u32 b = 0; b < num_blocks; ++b) {
+        u32 br = static_cast<u32>(rng.index(brs));
+        u32 bc = static_cast<u32>(rng.index(bcs));
+        for (u32 r = 0; r < block; ++r) {
+            for (u32 c = 0; c < block; ++c) {
+                u32 rr = br * block + r, cc = bc * block + c;
+                if (rr < rows && cc < cols && rng.bernoulli(block_fill)) {
+                    t.push_back({rr, cc,
+                                 static_cast<float>(rng.uniformReal(0.1, 1.0))});
+                }
+            }
+        }
+    }
+    if (t.empty())
+        t.push_back({0, 0, 1.0f});
+    return SparseMatrix(rows, cols, std::move(t), "denseblocks");
+}
+
+SparseMatrix
+genBlockDiagonal(u32 rows, u32 block, Rng& rng)
+{
+    std::vector<Triplet> t;
+    for (u32 r = 0; r < rows; ++r) {
+        u32 blk = r / block;
+        for (u32 c = blk * block; c < std::min(rows, (blk + 1) * block); ++c)
+            t.push_back({r, c, static_cast<float>(rng.uniformReal(0.1, 1.0))});
+    }
+    return SparseMatrix(rows, rows, std::move(t), "blockdiag");
+}
+
+SparseMatrix
+genKronecker(u32 levels, Rng& rng)
+{
+    // 2x2 stochastic Kronecker with the classic R-MAT probabilities.
+    const double p[2][2] = {{0.57, 0.19}, {0.19, 0.05}};
+    u32 dim = 1u << levels;
+    u64 nnz = static_cast<u64>(dim) * 8;
+    std::vector<Triplet> t;
+    t.reserve(nnz);
+    for (u64 n = 0; n < nnz; ++n) {
+        u32 r = 0, c = 0;
+        for (u32 l = 0; l < levels; ++l) {
+            double u = rng.uniformReal();
+            u32 qr, qc;
+            if (u < p[0][0]) {
+                qr = 0; qc = 0;
+            } else if (u < p[0][0] + p[0][1]) {
+                qr = 0; qc = 1;
+            } else if (u < p[0][0] + p[0][1] + p[1][0]) {
+                qr = 1; qc = 0;
+            } else {
+                qr = 1; qc = 1;
+            }
+            r = 2 * r + qr;
+            c = 2 * c + qc;
+        }
+        t.push_back({r, c, static_cast<float>(rng.uniformReal(0.1, 1.0))});
+    }
+    return SparseMatrix(dim, dim, std::move(t), "kronecker");
+}
+
+SparseMatrix
+genDiagonalish(u32 rows, u32 extra_per_row, Rng& rng)
+{
+    std::vector<Triplet> t;
+    for (u32 r = 0; r < rows; ++r) {
+        t.push_back({r, r, 1.0f});
+        for (u32 e = 0; e < extra_per_row; ++e) {
+            i64 c = static_cast<i64>(r) +
+                    rng.uniformInt(-8, 8) * static_cast<i64>(e + 1);
+            if (c >= 0 && c < rows) {
+                t.push_back({r, static_cast<u32>(c),
+                             static_cast<float>(rng.uniformReal(0.1, 1.0))});
+            }
+        }
+    }
+    return SparseMatrix(rows, rows, std::move(t), "diagonalish");
+}
+
+SparseMatrix
+genHotColumns(u32 rows, u32 cols, u64 nnz, u32 hot, Rng& rng)
+{
+    std::vector<Triplet> t;
+    t.reserve(nnz);
+    for (u64 n = 0; n < nnz; ++n) {
+        u32 c = rng.bernoulli(0.5)
+            ? static_cast<u32>(rng.index(std::max<u32>(1, hot)))
+            : static_cast<u32>(rng.index(cols));
+        t.push_back({static_cast<u32>(rng.index(rows)), c,
+                     static_cast<float>(rng.uniformReal(0.1, 1.0))});
+    }
+    return SparseMatrix(rows, cols, std::move(t), "hotcols");
+}
+
+Sparse3Tensor
+genTensor3(u32 di, u32 dk, u32 dl, u64 nnz, Rng& rng)
+{
+    std::vector<Quad> q;
+    q.reserve(nnz);
+    // Half clustered fibers (same (i,k), many l), half scattered.
+    for (u64 n = 0; n < nnz; ++n) {
+        if (rng.bernoulli(0.5)) {
+            u32 i = static_cast<u32>(rng.index(di));
+            u32 k = static_cast<u32>(rng.index(dk));
+            for (u32 f = 0; f < 4 && q.size() < nnz; ++f) {
+                q.push_back({i, k, static_cast<u32>(rng.index(dl)),
+                             static_cast<float>(rng.uniformReal(0.1, 1.0))});
+            }
+        } else {
+            q.push_back({static_cast<u32>(rng.index(di)),
+                         static_cast<u32>(rng.index(dk)),
+                         static_cast<u32>(rng.index(dl)),
+                         static_cast<float>(rng.uniformReal(0.1, 1.0))});
+        }
+    }
+    return Sparse3Tensor(di, dk, dl, std::move(q), "tensor3");
+}
+
+std::vector<SparseMatrix>
+makeCorpus(const CorpusOptions& opt, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<SparseMatrix> out;
+    out.reserve(opt.count);
+    for (u32 n = 0; n < opt.count; ++n) {
+        u32 rows = static_cast<u32>(
+            rng.uniformInt(opt.minDim, opt.maxDim));
+        u32 cols = rng.bernoulli(0.7)
+            ? rows
+            : static_cast<u32>(rng.uniformInt(opt.minDim, opt.maxDim));
+        u64 nnz = static_cast<u64>(rng.uniformInt(
+            static_cast<i64>(opt.minNnz), static_cast<i64>(opt.maxNnz)));
+        SparseMatrix m;
+        switch (n % 8) {
+          case 0: m = genUniform(rows, cols, nnz, rng); break;
+          case 1: m = genPowerLawRows(rows, cols, nnz, 1.2, rng); break;
+          case 2:
+            m = genBanded(rows, cols,
+                          static_cast<u32>(rng.uniformInt(2, 32)), 0.4, rng);
+            break;
+          case 3: {
+            u32 b = static_cast<u32>(1u << rng.uniformInt(2, 5));
+            u32 blocks = static_cast<u32>(
+                std::max<u64>(1, nnz / (b * b)));
+            m = genDenseBlocks(rows, cols, b, blocks, 0.9, rng);
+            break;
+          }
+          case 4:
+            m = genBlockDiagonal(std::min(rows, 4096u),
+                                 static_cast<u32>(1u << rng.uniformInt(2, 5)),
+                                 rng);
+            break;
+          case 5: {
+            u32 levels = std::min<u32>(13, log2Floor(rows));
+            m = genKronecker(levels, rng);
+            break;
+          }
+          case 6:
+            m = genDiagonalish(rows,
+                               static_cast<u32>(rng.uniformInt(1, 4)), rng);
+            break;
+          default:
+            m = genHotColumns(rows, cols, nnz,
+                              std::max<u32>(1, cols / 64), rng);
+            break;
+        }
+        m.setName(m.name() + "_" + std::to_string(n));
+        out.push_back(std::move(m));
+    }
+    return out;
+}
+
+std::vector<Sparse3Tensor>
+makeCorpus3d(const CorpusOptions& opt, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<Sparse3Tensor> out;
+    out.reserve(opt.count);
+    for (u32 n = 0; n < opt.count; ++n) {
+        u32 di = static_cast<u32>(rng.uniformInt(opt.minDim / 4, opt.maxDim / 4));
+        u32 dk = static_cast<u32>(rng.uniformInt(opt.minDim / 4, opt.maxDim / 4));
+        u32 dl = static_cast<u32>(rng.uniformInt(opt.minDim / 4, opt.maxDim / 4));
+        u64 nnz = static_cast<u64>(rng.uniformInt(
+            static_cast<i64>(opt.minNnz), static_cast<i64>(opt.maxNnz)));
+        out.push_back(genTensor3(di, dk, dl, nnz, rng));
+    }
+    return out;
+}
+
+SparseMatrix
+pliLike(u64 seed)
+{
+    // pli: 22,695^2, 1.35M nnz, 0.26% — unstructured with mild banding.
+    // Sized so the SpMM dense operand is LLC-resident (as for the real pli
+    // on the paper's Xeon), leaving only modest tuning headroom.
+    Rng rng(seed);
+    auto m = genBanded(32768, 32768, 24, 0.45, rng);
+    auto extra = genPowerLawRows(32768, 32768, 700000, 0.8, rng,
+                                 /*scatter=*/false);
+    std::vector<Triplet> t;
+    for (u64 n = 0; n < m.nnz(); ++n)
+        t.push_back({m.rowIndices()[n], m.colIndices()[n], m.values()[n]});
+    for (u64 n = 0; n < extra.nnz(); ++n)
+        t.push_back({extra.rowIndices()[n], extra.colIndices()[n],
+                     extra.values()[n]});
+    SparseMatrix out(32768, 32768, std::move(t), "pli-like");
+    return out;
+}
+
+SparseMatrix
+tsopfLike(u64 seed)
+{
+    // TSOPF_RS_b2052_c1: power-flow matrix dominated by dense row blocks.
+    // Sized past the LLC so blocked formats pay off through operand reuse.
+    Rng rng(seed);
+    auto m = genDenseBlocks(131072, 131072, 16, 8000, 0.95, rng);
+    m.setName("tsopf-like");
+    return m;
+}
+
+SparseMatrix
+sparsineLike(u64 seed)
+{
+    // sparsine: 50,000^2, 0.06% — scattered, cache-hostile columns; the
+    // dense operand misses the LLC so sparse-block (UUC) tiling wins.
+    Rng rng(seed);
+    auto m = genUniform(65536, 65536, 1300000, rng);
+    m.setName("sparsine-like");
+    return m;
+}
+
+SparseMatrix
+bcsstk29Like(u64 seed)
+{
+    // bcsstk29: a mid-size FEM stiffness matrix (banded, blocky).
+    Rng rng(seed);
+    auto m = genBanded(4096, 4096, 24, 0.5, rng);
+    m.setName("bcsstk29-like");
+    return m;
+}
+
+} // namespace waco

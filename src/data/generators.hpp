@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Synthetic sparsity-pattern generators standing in for the SuiteSparse
+ * collection (no network access in this environment; see DESIGN.md).
+ *
+ * The families cover the pattern axes the paper's analysis says matter:
+ * dense blocks (BCSR/UCU wins), row skew (chunk-size wins), scattered
+ * uniform patterns (sparse-block / cache-tiling wins), bands (FEM),
+ * power-law graphs, and Kronecker self-similarity. makeCorpus() mixes them
+ * with randomized shapes, mirroring the paper's resize augmentation.
+ * Named stand-ins for the three motivation matrices (pli,
+ * TSOPF_RS_b2052_c1, sparsine in Figure 2) are provided for Tables 1-2.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "util/rng.hpp"
+
+namespace waco {
+
+/** Uniformly scattered nonzeros. */
+SparseMatrix genUniform(u32 rows, u32 cols, u64 nnz, Rng& rng);
+
+/** Power-law (Zipf) distributed nonzeros per row — heavy skew.
+ *  @param scatter permute rows so heavy rows spread out (true) or keep
+ *         them adjacent so coarse chunks trap them together (false). */
+SparseMatrix genPowerLawRows(u32 rows, u32 cols, u64 nnz, double alpha,
+                             Rng& rng, bool scatter = true);
+
+/** Banded matrix with partial fill inside the band (FEM-style). */
+SparseMatrix genBanded(u32 rows, u32 cols, u32 bandwidth, double fill,
+                       Rng& rng);
+
+/** Dense b x b blocks scattered over the matrix (TSOPF-style). */
+SparseMatrix genDenseBlocks(u32 rows, u32 cols, u32 block, u32 num_blocks,
+                            double block_fill, Rng& rng);
+
+/** Block-diagonal with fully dense blocks. */
+SparseMatrix genBlockDiagonal(u32 rows, u32 block, Rng& rng);
+
+/** Kronecker-power graph pattern (scale-free-ish, self-similar). */
+SparseMatrix genKronecker(u32 levels, Rng& rng);
+
+/** Diagonal plus random off-diagonal perturbations. */
+SparseMatrix genDiagonalish(u32 rows, u32 extra_per_row, Rng& rng);
+
+/** Columns with a few hot (nearly dense) columns — clustered reuse. */
+SparseMatrix genHotColumns(u32 rows, u32 cols, u64 nnz, u32 hot, Rng& rng);
+
+/** A random 3D tensor with clustered fibers, for MTTKRP. */
+Sparse3Tensor genTensor3(u32 di, u32 dk, u32 dl, u64 nnz, Rng& rng);
+
+/** Options for corpus synthesis. */
+struct CorpusOptions
+{
+    u32 count = 32;       ///< Number of matrices.
+    u32 minDim = 512;     ///< Smallest rows/cols.
+    u32 maxDim = 8192;    ///< Largest rows/cols.
+    u64 minNnz = 2000;
+    u64 maxNnz = 40000;
+};
+
+/** Mixed-family corpus with randomized shapes (one matrix per draw). */
+std::vector<SparseMatrix> makeCorpus(const CorpusOptions& opt, u64 seed);
+
+/** Mixed corpus of 3D tensors for MTTKRP. */
+std::vector<Sparse3Tensor> makeCorpus3d(const CorpusOptions& opt, u64 seed);
+
+/** Stand-in for "pli" (unstructured, moderate density). */
+SparseMatrix pliLike(u64 seed = 101);
+/** Stand-in for "TSOPF_RS_b2052_c1" (dense row blocks). */
+SparseMatrix tsopfLike(u64 seed = 102);
+/** Stand-in for "sparsine" (large, scattered, cache-hostile). */
+SparseMatrix sparsineLike(u64 seed = 103);
+/** Stand-in for "bcsstk29" used by the Figure 16 search study. */
+SparseMatrix bcsstk29Like(u64 seed = 104);
+
+} // namespace waco

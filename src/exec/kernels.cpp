@@ -1,0 +1,289 @@
+#include "exec/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace waco {
+
+DenseVector
+spmvHier(const HierSparseTensor& a, const DenseVector& b)
+{
+    fatalIf(a.descriptor().order() != 2, "spmvHier needs a 2D tensor");
+    fatalIf(b.size() != a.descriptor().dims()[1], "SpMV operand size mismatch");
+    DenseVector c(a.descriptor().dims()[0], 0.0f);
+    a.forEachStored([&](const std::array<u32, 3>& x, float v, bool ok) {
+        if (ok)
+            c[x[0]] += v * b[x[1]];
+    });
+    return c;
+}
+
+DenseMatrix
+spmmHier(const HierSparseTensor& a, const DenseMatrix& b)
+{
+    fatalIf(a.descriptor().order() != 2, "spmmHier needs a 2D tensor");
+    fatalIf(b.rows() != a.descriptor().dims()[1], "SpMM operand shape mismatch");
+    DenseMatrix c(a.descriptor().dims()[0], b.cols(), Layout::RowMajor, 0.0f);
+    const u64 jd = b.cols();
+    a.forEachStored([&](const std::array<u32, 3>& x, float v, bool ok) {
+        if (!ok)
+            return;
+        for (u64 j = 0; j < jd; ++j)
+            c.at(x[0], j) += v * b.at(x[1], j);
+    });
+    return c;
+}
+
+SparseMatrix
+sddmmHier(const HierSparseTensor& a, const DenseMatrix& b,
+          const DenseMatrix& c)
+{
+    fatalIf(a.descriptor().order() != 2, "sddmmHier needs a 2D tensor");
+    fatalIf(b.rows() != a.descriptor().dims()[0] ||
+                c.cols() != a.descriptor().dims()[1] ||
+                b.cols() != c.rows(),
+            "SDDMM operand shape mismatch");
+    const u64 kd = b.cols();
+    std::vector<Triplet> out;
+    a.forEachStored([&](const std::array<u32, 3>& x, float v, bool ok) {
+        if (!ok || v == 0.0f)
+            return;
+        float dot = 0.0f;
+        for (u64 k = 0; k < kd; ++k)
+            dot += b.at(x[0], k) * c.at(k, x[1]);
+        out.push_back({x[0], x[1], v * dot});
+    });
+    return SparseMatrix(a.descriptor().dims()[0], a.descriptor().dims()[1],
+                        std::move(out));
+}
+
+DenseMatrix
+mttkrpHier(const HierSparseTensor& a, const DenseMatrix& b,
+           const DenseMatrix& c)
+{
+    fatalIf(a.descriptor().order() != 3, "mttkrpHier needs a 3D tensor");
+    fatalIf(b.rows() != a.descriptor().dims()[1] ||
+                c.rows() != a.descriptor().dims()[2] ||
+                b.cols() != c.cols(),
+            "MTTKRP operand shape mismatch");
+    DenseMatrix d(a.descriptor().dims()[0], b.cols(), Layout::RowMajor, 0.0f);
+    const u64 jd = b.cols();
+    a.forEachStored([&](const std::array<u32, 3>& x, float v, bool ok) {
+        if (!ok)
+            return;
+        for (u64 j = 0; j < jd; ++j)
+            d.at(x[0], j) += v * b.at(x[1], j) * c.at(x[2], j);
+    });
+    return d;
+}
+
+namespace {
+
+/**
+ * Run fn(row) for rows [0, rows) across threads with OpenMP-style dynamic
+ * chunking: threads atomically claim the next chunk of @p chunk rows.
+ */
+template <typename Fn>
+void
+dynamicFor(u32 rows, const ParallelConfig& par, Fn&& fn)
+{
+    u32 threads = std::max<u32>(1, par.threads);
+    u32 chunk = std::max<u32>(1, par.chunk);
+    if (threads == 1) {
+        for (u32 r = 0; r < rows; ++r)
+            fn(r);
+        return;
+    }
+    std::atomic<u32> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            u32 begin = next.fetch_add(chunk);
+            if (begin >= rows)
+                return;
+            u32 end = std::min(rows, begin + chunk);
+            for (u32 r = begin; r < end; ++r)
+                fn(r);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (u32 t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto& t : pool)
+        t.join();
+}
+
+} // namespace
+
+DenseVector
+spmvCsr(const Csr& a, const DenseVector& b, const ParallelConfig& par)
+{
+    fatalIf(b.size() != a.cols(), "SpMV operand size mismatch");
+    DenseVector c(a.rows(), 0.0f);
+    const auto& rp = a.rowPtr();
+    const auto& ci = a.colIdx();
+    const auto& av = a.values();
+    dynamicFor(a.rows(), par, [&](u32 i) {
+        float acc = 0.0f;
+        for (u64 n = rp[i]; n < rp[i + 1]; ++n)
+            acc += av[n] * b[ci[n]];
+        c[i] = acc;
+    });
+    return c;
+}
+
+DenseMatrix
+spmmCsr(const Csr& a, const DenseMatrix& b, const ParallelConfig& par)
+{
+    fatalIf(b.rows() != a.cols(), "SpMM operand shape mismatch");
+    DenseMatrix c(a.rows(), b.cols(), Layout::RowMajor, 0.0f);
+    const auto& rp = a.rowPtr();
+    const auto& ci = a.colIdx();
+    const auto& av = a.values();
+    const u64 jd = b.cols();
+    dynamicFor(a.rows(), par, [&](u32 i) {
+        float* crow = &c.data()[c.offset(i, 0)];
+        for (u64 n = rp[i]; n < rp[i + 1]; ++n) {
+            float v = av[n];
+            const float* brow = &b.data()[b.offset(ci[n], 0)];
+            for (u64 j = 0; j < jd; ++j)
+                crow[j] += v * brow[j];
+        }
+    });
+    return c;
+}
+
+SparseMatrix
+sddmmCsr(const SparseMatrix& a, const DenseMatrix& b, const DenseMatrix& c,
+         const ParallelConfig& par)
+{
+    fatalIf(b.rows() != a.rows() || c.cols() != a.cols() ||
+                b.cols() != c.rows(),
+            "SDDMM operand shape mismatch");
+    Csr csr(a);
+    const u64 kd = b.cols();
+    std::vector<float> out_vals(a.nnz(), 0.0f);
+    const auto& rp = csr.rowPtr();
+    const auto& ci = csr.colIdx();
+    const auto& av = csr.values();
+    dynamicFor(a.rows(), par, [&](u32 i) {
+        for (u64 n = rp[i]; n < rp[i + 1]; ++n) {
+            u32 j = ci[n];
+            float dot = 0.0f;
+            for (u64 k = 0; k < kd; ++k)
+                dot += b.at(i, k) * c.at(k, j);
+            out_vals[n] = av[n] * dot;
+        }
+    });
+    std::vector<Triplet> t;
+    t.reserve(a.nnz());
+    u64 n = 0;
+    for (u32 i = 0; i < a.rows(); ++i)
+        for (u64 p = rp[i]; p < rp[i + 1]; ++p, ++n)
+            t.push_back({i, ci[p], out_vals[p]});
+    return SparseMatrix(a.rows(), a.cols(), std::move(t));
+}
+
+DenseMatrix
+mttkrpCsf(const Sparse3Tensor& a, const DenseMatrix& b, const DenseMatrix& c,
+          const ParallelConfig& par)
+{
+    fatalIf(b.rows() != a.dimK() || c.rows() != a.dimL() ||
+                b.cols() != c.cols(),
+            "MTTKRP operand shape mismatch");
+    DenseMatrix d(a.dimI(), b.cols(), Layout::RowMajor, 0.0f);
+    const u64 jd = b.cols();
+    // Fiber starts: COO is sorted by i, so each i's entries are contiguous.
+    std::vector<u64> start(a.dimI() + 1, 0);
+    for (u64 n = 0; n < a.nnz(); ++n)
+        ++start[a.iIndices()[n] + 1];
+    for (u32 i = 0; i < a.dimI(); ++i)
+        start[i + 1] += start[i];
+    dynamicFor(a.dimI(), par, [&](u32 i) {
+        float* drow = &d.data()[d.offset(i, 0)];
+        for (u64 n = start[i]; n < start[i + 1]; ++n) {
+            float v = a.values()[n];
+            const float* brow = &b.data()[b.offset(a.kIndices()[n], 0)];
+            const float* crow = &c.data()[c.offset(a.lIndices()[n], 0)];
+            for (u64 j = 0; j < jd; ++j)
+                drow[j] += v * brow[j] * crow[j];
+        }
+    });
+    return d;
+}
+
+double
+measureHierKernel(Algorithm alg, const HierSparseTensor& a, u32 dense_extent,
+                  u32 rounds)
+{
+    const auto& dims = a.descriptor().dims();
+    Rng rng(0xbeef);
+    std::vector<double> times;
+    times.reserve(rounds);
+    u32 extent = dense_extent;
+    if (extent == 0) {
+        const auto& info = algorithmInfo(alg);
+        for (u32 idx = 0; idx < info.numIndices; ++idx)
+            extent = std::max(extent, info.denseExtent[idx]);
+        if (extent == 0)
+            extent = 1;
+    }
+    switch (alg) {
+      case Algorithm::SpMV: {
+        DenseVector b(dims[1]);
+        b.randomize(rng);
+        for (u32 r = 0; r < rounds; ++r) {
+            Timer t;
+            auto c = spmvHier(a, b);
+            times.push_back(t.seconds());
+            (void)c;
+        }
+        break;
+      }
+      case Algorithm::SpMM: {
+        DenseMatrix b(dims[1], extent);
+        b.randomize(rng);
+        for (u32 r = 0; r < rounds; ++r) {
+            Timer t;
+            auto c = spmmHier(a, b);
+            times.push_back(t.seconds());
+            (void)c;
+        }
+        break;
+      }
+      case Algorithm::SDDMM: {
+        DenseMatrix b(dims[0], extent);
+        DenseMatrix c(extent, dims[1], Layout::ColMajor);
+        b.randomize(rng);
+        c.randomize(rng);
+        for (u32 r = 0; r < rounds; ++r) {
+            Timer t;
+            auto d = sddmmHier(a, b, c);
+            times.push_back(t.seconds());
+            (void)d;
+        }
+        break;
+      }
+      case Algorithm::MTTKRP: {
+        DenseMatrix b(dims[1], extent);
+        DenseMatrix c(dims[2], extent);
+        b.randomize(rng);
+        c.randomize(rng);
+        for (u32 r = 0; r < rounds; ++r) {
+            Timer t;
+            auto d = mttkrpHier(a, b, c);
+            times.push_back(t.seconds());
+            (void)d;
+        }
+        break;
+      }
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+} // namespace waco

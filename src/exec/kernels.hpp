@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Real execution engine.
+ *
+ * Two tiers:
+ *  - Format-generic kernels over a HierSparseTensor: run any of the four
+ *    algorithms on a tensor stored in *any* format the SuperSchedule can
+ *    describe (dense-block padding included, exactly like TACO-generated
+ *    code). Used to validate formats and to wall-clock real format effects.
+ *  - Fast fixed-format kernels (CSR / CSF) with OpenMP-style dynamic
+ *    work-sharing over std::thread, used by the baselines and examples.
+ */
+#pragma once
+
+#include "ir/algorithm.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/csr.hpp"
+#include "tensor/dense.hpp"
+#include "tensor/format.hpp"
+
+namespace waco {
+
+/** C[i] = A[i,k] * B[k] with A in an arbitrary hierarchy format. */
+DenseVector spmvHier(const HierSparseTensor& a, const DenseVector& b);
+
+/** C[i,j] = A[i,k] * B[k,j] with A in an arbitrary hierarchy format. */
+DenseMatrix spmmHier(const HierSparseTensor& a, const DenseMatrix& b);
+
+/** D[i,j] = A[i,j] * B[i,k] * C[k,j] with A in an arbitrary hierarchy format. */
+SparseMatrix sddmmHier(const HierSparseTensor& a, const DenseMatrix& b,
+                       const DenseMatrix& c);
+
+/** D[i,j] = A[i,k,l] * B[k,j] * C[l,j] with A in an arbitrary hierarchy format. */
+DenseMatrix mttkrpHier(const HierSparseTensor& a, const DenseMatrix& b,
+                       const DenseMatrix& c);
+
+/**
+ * OpenMP-style dynamic scheduling parameters for the fast kernels:
+ * rows are handed to worker threads in chunks of @p chunk
+ * (#pragma omp parallel for schedule(dynamic, chunk)).
+ */
+struct ParallelConfig
+{
+    u32 threads = 1;
+    u32 chunk = 128;
+};
+
+/** CSR SpMV with dynamic row chunking. */
+DenseVector spmvCsr(const Csr& a, const DenseVector& b,
+                    const ParallelConfig& par = {});
+
+/** CSR SpMM with dynamic row chunking (B and C row-major). */
+DenseMatrix spmmCsr(const Csr& a, const DenseMatrix& b,
+                    const ParallelConfig& par = {});
+
+/** CSR SDDMM with dynamic row chunking (B row-major, C column-major). */
+SparseMatrix sddmmCsr(const SparseMatrix& a, const DenseMatrix& b,
+                      const DenseMatrix& c, const ParallelConfig& par = {});
+
+/** CSF-ordered MTTKRP from the sorted COO tensor (B and C row-major). */
+DenseMatrix mttkrpCsf(const Sparse3Tensor& a, const DenseMatrix& b,
+                      const DenseMatrix& c, const ParallelConfig& par = {});
+
+/**
+ * Median wall-clock seconds over @p rounds repetitions of the
+ * format-generic kernel for @p alg (the paper's measurement protocol,
+ * Section 4.1.3, with fewer rounds by default).
+ */
+double measureHierKernel(Algorithm alg, const HierSparseTensor& a,
+                         u32 dense_extent = 0, u32 rounds = 5);
+
+} // namespace waco

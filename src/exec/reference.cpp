@@ -1,0 +1,98 @@
+#include "exec/reference.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace waco {
+
+DenseVector
+spmvReference(const SparseMatrix& a, const DenseVector& b)
+{
+    fatalIf(b.size() != a.cols(), "SpMV operand size mismatch");
+    DenseVector c(a.rows(), 0.0f);
+    for (u64 n = 0; n < a.nnz(); ++n)
+        c[a.rowIndices()[n]] += a.values()[n] * b[a.colIndices()[n]];
+    return c;
+}
+
+DenseMatrix
+spmmReference(const SparseMatrix& a, const DenseMatrix& b)
+{
+    fatalIf(b.rows() != a.cols(), "SpMM operand shape mismatch");
+    DenseMatrix c(a.rows(), b.cols(), Layout::RowMajor, 0.0f);
+    for (u64 n = 0; n < a.nnz(); ++n) {
+        u32 i = a.rowIndices()[n];
+        u32 k = a.colIndices()[n];
+        float v = a.values()[n];
+        for (u64 j = 0; j < b.cols(); ++j)
+            c.at(i, j) += v * b.at(k, j);
+    }
+    return c;
+}
+
+SparseMatrix
+sddmmReference(const SparseMatrix& a, const DenseMatrix& b,
+               const DenseMatrix& c)
+{
+    fatalIf(b.rows() != a.rows() || c.cols() != a.cols() ||
+                b.cols() != c.rows(),
+            "SDDMM operand shape mismatch");
+    std::vector<Triplet> out;
+    out.reserve(a.nnz());
+    for (u64 n = 0; n < a.nnz(); ++n) {
+        u32 i = a.rowIndices()[n];
+        u32 j = a.colIndices()[n];
+        float dot = 0.0f;
+        for (u64 k = 0; k < b.cols(); ++k)
+            dot += b.at(i, k) * c.at(k, j);
+        out.push_back({i, j, a.values()[n] * dot});
+    }
+    return SparseMatrix(a.rows(), a.cols(), std::move(out));
+}
+
+DenseMatrix
+mttkrpReference(const Sparse3Tensor& a, const DenseMatrix& b,
+                const DenseMatrix& c)
+{
+    fatalIf(b.rows() != a.dimK() || c.rows() != a.dimL() ||
+                b.cols() != c.cols(),
+            "MTTKRP operand shape mismatch");
+    DenseMatrix d(a.dimI(), b.cols(), Layout::RowMajor, 0.0f);
+    for (u64 n = 0; n < a.nnz(); ++n) {
+        u32 i = a.iIndices()[n];
+        u32 k = a.kIndices()[n];
+        u32 l = a.lIndices()[n];
+        float v = a.values()[n];
+        for (u64 j = 0; j < b.cols(); ++j)
+            d.at(i, j) += v * b.at(k, j) * c.at(l, j);
+    }
+    return d;
+}
+
+double
+maxAbsDiff(const DenseMatrix& x, const DenseMatrix& y)
+{
+    panicIf(x.rows() != y.rows() || x.cols() != y.cols(),
+            "maxAbsDiff shape mismatch");
+    double worst = 0.0;
+    for (u64 r = 0; r < x.rows(); ++r)
+        for (u64 c = 0; c < x.cols(); ++c)
+            worst = std::max(worst,
+                             std::abs(static_cast<double>(x.at(r, c)) -
+                                      y.at(r, c)));
+    return worst;
+}
+
+double
+maxAbsDiff(const DenseVector& x, const DenseVector& y)
+{
+    panicIf(x.size() != y.size(), "maxAbsDiff size mismatch");
+    double worst = 0.0;
+    for (u64 i = 0; i < x.size(); ++i)
+        worst = std::max(worst,
+                         std::abs(static_cast<double>(x[i]) - y[i]));
+    return worst;
+}
+
+} // namespace waco

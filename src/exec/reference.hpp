@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Straightforward reference implementations of the four kernels, computed
+ * directly from canonical COO. These are the correctness oracles that every
+ * format/schedule execution path is tested against.
+ */
+#pragma once
+
+#include "tensor/coo.hpp"
+#include "tensor/dense.hpp"
+
+namespace waco {
+
+/** C[i] = sum_k A[i,k] * B[k]. */
+DenseVector spmvReference(const SparseMatrix& a, const DenseVector& b);
+
+/** C[i,j] = sum_k A[i,k] * B[k,j]. */
+DenseMatrix spmmReference(const SparseMatrix& a, const DenseMatrix& b);
+
+/** D[i,j] = A[i,j] * sum_k B[i,k] * C[k,j]; D has A's sparsity pattern. */
+SparseMatrix sddmmReference(const SparseMatrix& a, const DenseMatrix& b,
+                            const DenseMatrix& c);
+
+/** D[i,j] = sum_{k,l} A[i,k,l] * B[k,j] * C[l,j]. */
+DenseMatrix mttkrpReference(const Sparse3Tensor& a, const DenseMatrix& b,
+                            const DenseMatrix& c);
+
+/** Max absolute elementwise difference between two dense matrices. */
+double maxAbsDiff(const DenseMatrix& x, const DenseMatrix& y);
+
+/** Max absolute elementwise difference between two dense vectors. */
+double maxAbsDiff(const DenseVector& x, const DenseVector& y);
+
+} // namespace waco

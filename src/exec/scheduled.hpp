@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Scheduled (multi-threaded) execution of the format-generic kernels: the
+ * real-machine counterpart of the oracle's OpenMP-dynamic model. The
+ * tensor's first storage level is chunked and worker threads claim chunks
+ * dynamically, exactly like `#pragma omp parallel for schedule(dynamic,
+ * chunk)` over the outer loop of TACO-generated code.
+ *
+ * Parallel execution is only race-free when the first storage level
+ * indexes a dimension that also indexes the output (each subtree then
+ * writes a disjoint output slice). parallelizableTopLevel() checks that;
+ * the kernels fall back to serial execution otherwise, which is also what
+ * a legal TACO schedule would be forced to do.
+ */
+#pragma once
+
+#include "exec/kernels.hpp"
+
+namespace waco {
+
+/** True when the tensor's first level indexes output dimension(s) so
+ *  top-level chunks write disjoint output slices. */
+bool parallelizableTopLevel(Algorithm alg, const HierSparseTensor& a);
+
+/** SpMV with dynamic top-level chunking. */
+DenseVector spmvScheduled(const HierSparseTensor& a, const DenseVector& b,
+                          const ParallelConfig& par);
+
+/** SpMM with dynamic top-level chunking. */
+DenseMatrix spmmScheduled(const HierSparseTensor& a, const DenseMatrix& b,
+                          const ParallelConfig& par);
+
+/** MTTKRP with dynamic top-level chunking. */
+DenseMatrix mttkrpScheduled(const HierSparseTensor& a, const DenseMatrix& b,
+                            const DenseMatrix& c, const ParallelConfig& par);
+
+} // namespace waco

@@ -1,0 +1,140 @@
+#include "ir/algorithm.hpp"
+
+namespace waco {
+
+std::string
+algorithmName(Algorithm alg)
+{
+    switch (alg) {
+      case Algorithm::SpMV: return "SpMV";
+      case Algorithm::SpMM: return "SpMM";
+      case Algorithm::SDDMM: return "SDDMM";
+      case Algorithm::MTTKRP: return "MTTKRP";
+    }
+    panic("unknown algorithm");
+}
+
+const std::vector<Algorithm>&
+allAlgorithms()
+{
+    static const std::vector<Algorithm> all = {
+        Algorithm::SpMV, Algorithm::SpMM, Algorithm::SDDMM, Algorithm::MTTKRP};
+    return all;
+}
+
+u32
+AlgorithmInfo::indexOfSparseDim(u32 d) const
+{
+    for (u32 idx = 0; idx < numIndices; ++idx) {
+        if (sparseDim[idx] == static_cast<int>(d))
+            return idx;
+    }
+    panic("sparse dimension has no index variable");
+}
+
+namespace {
+
+AlgorithmInfo
+makeSpMV()
+{
+    AlgorithmInfo info;
+    info.alg = Algorithm::SpMV;
+    info.einsum = "C[i] = A[i,k] * B[k]";
+    info.numIndices = 2;
+    info.indexNames = {"i", "k", "", ""};
+    info.sparseDim = {0, 1, -1, -1};
+    info.sparseOrder = 2;
+    info.isReduction = {false, true, false, false};
+    info.denseExtent = {0, 0, 0, 0};
+    info.denseOperands = {
+        {"B", {1}, false, true, false},
+        {"C", {0}, false, true, true},
+    };
+    return info;
+}
+
+AlgorithmInfo
+makeSpMM()
+{
+    AlgorithmInfo info;
+    info.alg = Algorithm::SpMM;
+    info.einsum = "C[i,j] = A[i,k] * B[k,j]";
+    info.numIndices = 3;
+    info.indexNames = {"i", "k", "j", ""};
+    info.sparseDim = {0, 1, -1, -1};
+    info.sparseOrder = 2;
+    info.isReduction = {false, true, false, false};
+    info.denseExtent = {0, 0, 256, 0};
+    // The paper forces both dense matrices to row-major for SpMM.
+    info.denseOperands = {
+        {"B", {1, 2}, true, true, false},
+        {"C", {0, 2}, true, true, true},
+    };
+    return info;
+}
+
+AlgorithmInfo
+makeSDDMM()
+{
+    AlgorithmInfo info;
+    info.alg = Algorithm::SDDMM;
+    info.einsum = "D[i,j] = A[i,j] * B[i,k] * C[k,j]";
+    info.numIndices = 3;
+    info.indexNames = {"i", "j", "k", ""};
+    info.sparseDim = {0, 1, -1, -1};
+    info.sparseOrder = 2;
+    // k reduces into D[i,j]; i and j are both safe to parallelize
+    // (Section 5.2.1 highlights SDDMM's column parallelism).
+    info.isReduction = {false, false, true, false};
+    info.denseExtent = {0, 0, 256, 0};
+    // Paper fixes B row-major and C column-major.
+    info.denseOperands = {
+        {"B", {0, 2}, true, true, false},
+        {"C", {2, 1}, true, false, false},
+        {"D", {0, 1}, true, true, true},
+    };
+    info.flopsPerNnz = 3.0;
+    return info;
+}
+
+AlgorithmInfo
+makeMTTKRP()
+{
+    AlgorithmInfo info;
+    info.alg = Algorithm::MTTKRP;
+    info.einsum = "D[i,j] = A[i,k,l] * B[k,j] * C[l,j]";
+    info.numIndices = 4;
+    info.indexNames = {"i", "k", "l", "j"};
+    info.sparseDim = {0, 1, 2, -1};
+    info.sparseOrder = 3;
+    info.isReduction = {false, true, true, false};
+    info.denseExtent = {0, 0, 0, 16};
+    // Paper fixes both dense matrices to row-major for MTTKRP.
+    info.denseOperands = {
+        {"B", {1, 3}, true, true, false},
+        {"C", {2, 3}, true, true, false},
+        {"D", {0, 3}, true, true, true},
+    };
+    info.flopsPerNnz = 3.0;
+    return info;
+}
+
+} // namespace
+
+const AlgorithmInfo&
+algorithmInfo(Algorithm alg)
+{
+    static const AlgorithmInfo spmv = makeSpMV();
+    static const AlgorithmInfo spmm = makeSpMM();
+    static const AlgorithmInfo sddmm = makeSDDMM();
+    static const AlgorithmInfo mttkrp = makeMTTKRP();
+    switch (alg) {
+      case Algorithm::SpMV: return spmv;
+      case Algorithm::SpMM: return spmm;
+      case Algorithm::SDDMM: return sddmm;
+      case Algorithm::MTTKRP: return mttkrp;
+    }
+    panic("unknown algorithm");
+}
+
+} // namespace waco

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Einsum-level descriptions of the four kernels the paper evaluates:
+ *
+ *   SpMV   : C[i]    = A[i,k]   * B[k]
+ *   SpMM   : C[i,j]  = A[i,k]   * B[k,j]
+ *   SDDMM  : D[i,j]  = A[i,j]   * B[i,k] * C[k,j]
+ *   MTTKRP : D[i,j]  = A[i,k,l] * B[k,j] * C[l,j]
+ *
+ * Each algorithm names its index variables, says which of them index the
+ * sparse tensor A, which are reduction indices (unsafe/inefficient to
+ * parallelize, Section 5.2.1), and the default extents of the dense-only
+ * indices used in the paper's evaluation (|j|=256 for SpMM, |k|=256 for
+ * SDDMM, |j|=16 for MTTKRP).
+ */
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace waco {
+
+/** The four sparse kernels evaluated by the paper. */
+enum class Algorithm { SpMV, SpMM, SDDMM, MTTKRP };
+
+/** Printable name ("SpMV", ...). */
+std::string algorithmName(Algorithm alg);
+
+/** All four algorithms, for sweeps. */
+const std::vector<Algorithm>& allAlgorithms();
+
+/** A dense operand of a kernel (e.g. B[k,j] in SpMM). */
+struct DenseOperand
+{
+    std::string name;            ///< "B", "C", "D"...
+    std::vector<u32> indices;    ///< Index-variable ids, row index first.
+    bool layoutFixed = false;    ///< Paper fixes some layouts (Section 5.1).
+    bool rowMajorDefault = true; ///< Layout when fixed / default.
+    bool isOutput = false;       ///< Written (no reuse of stale values).
+};
+
+/** Static description of one algorithm's iteration space. */
+struct AlgorithmInfo
+{
+    Algorithm alg;
+    std::string einsum;                 ///< Human-readable algebra string.
+    u32 numIndices = 0;                 ///< Total index variables.
+    std::array<std::string, 4> indexNames;
+    /** Maps index id -> dimension of the sparse tensor A, or -1. */
+    std::array<int, 4> sparseDim = {-1, -1, -1, -1};
+    u32 sparseOrder = 0;                ///< Number of sparse dimensions of A.
+    /** True for indices that reduce into the output (unsafe to parallelize). */
+    std::array<bool, 4> isReduction = {false, false, false, false};
+    /** Default extent of each dense-only index (0 for sparse indices). */
+    std::array<u32, 4> denseExtent = {0, 0, 0, 0};
+    std::vector<DenseOperand> denseOperands;
+    /** Multiply-accumulates per sparse nonzero per unit of dense-only work. */
+    double flopsPerNnz = 2.0;
+
+    /** Index id of the sparse tensor's dimension d. */
+    u32 indexOfSparseDim(u32 d) const;
+};
+
+/** Lookup the static description of @p alg. */
+const AlgorithmInfo& algorithmInfo(Algorithm alg);
+
+} // namespace waco

@@ -1,0 +1,348 @@
+#include "model/feature_extractor.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "nn/layers.hpp"
+
+namespace waco {
+
+using nn::GlobalAvgPool;
+using nn::Mat;
+using nn::MLP;
+using nn::Param;
+using nn::SparseConv;
+using nn::SparseMap;
+using nn::SparseReLU;
+
+PatternInput
+PatternInput::fromMatrix(const SparseMatrix& m)
+{
+    PatternInput in;
+    in.dim = 2;
+    in.shape = {m.rows(), m.cols(), 0};
+    in.coords.reserve(m.nnz());
+    for (u64 n = 0; n < m.nnz(); ++n) {
+        in.coords.push_back({static_cast<i32>(m.rowIndices()[n]),
+                             static_cast<i32>(m.colIndices()[n]), 0});
+    }
+    return in;
+}
+
+PatternInput
+PatternInput::fromTensor3(const Sparse3Tensor& t)
+{
+    PatternInput in;
+    in.dim = 3;
+    in.shape = t.dims();
+    in.coords.reserve(t.nnz());
+    for (u64 n = 0; n < t.nnz(); ++n) {
+        in.coords.push_back({static_cast<i32>(t.iIndices()[n]),
+                             static_cast<i32>(t.kIndices()[n]),
+                             static_cast<i32>(t.lIndices()[n])});
+    }
+    return in;
+}
+
+namespace {
+
+/**
+ * WACONet (Figure 9): one 5x5 stride-1 submanifold layer then strided 3x3
+ * layers, with every layer's pooled output concatenated into the feature.
+ */
+class WacoNet final : public FeatureExtractor
+{
+  public:
+    WacoNet(u32 dim, const ExtractorConfig& cfg, Rng& rng)
+        : dim_(dim), cfg_(cfg)
+    {
+        convs_.reserve(cfg.numLayers);
+        convs_.emplace_back(dim, 5, 1, 1, cfg.channels, rng);
+        for (u32 l = 1; l < cfg.numLayers; ++l)
+            convs_.emplace_back(dim, 3, 2, cfg.channels, cfg.channels, rng);
+        relus_.resize(cfg.numLayers);
+        pools_.resize(cfg.numLayers);
+        head_ = MLP({cfg.numLayers * cfg.channels, cfg.featureDim,
+                     cfg.featureDim},
+                    rng);
+    }
+
+    Mat
+    forward(const PatternInput& in) override
+    {
+        SparseMap map;
+        map.dim = dim_;
+        map.coords = in.coords;
+        map.feats = Mat(map.numSites(), 1, 1.0f);
+        Mat concat(1, cfg_.numLayers * cfg_.channels);
+        site_counts_.clear();
+        for (u32 l = 0; l < cfg_.numLayers; ++l) {
+            map = convs_[l].forward(map);
+            map = relus_[l].forward(map);
+            Mat pooled = pools_[l].forward(map);
+            std::copy(pooled.v.begin(), pooled.v.end(),
+                      concat.v.begin() + static_cast<long>(l) * cfg_.channels);
+            site_counts_.push_back(map.numSites());
+        }
+        return head_.forward(concat);
+    }
+
+    void
+    backward(const Mat& d_feat) override
+    {
+        Mat d_concat = head_.backward(d_feat);
+        // Reverse through the conv stack, merging each layer's pooled
+        // gradient with the gradient arriving from the layer above.
+        Mat d_map; // gradient w.r.t. the current layer's output features
+        for (u32 l = cfg_.numLayers; l-- > 0;) {
+            Mat d_pool(1, cfg_.channels);
+            std::copy(d_concat.v.begin() + static_cast<long>(l) * cfg_.channels,
+                      d_concat.v.begin() +
+                          static_cast<long>(l + 1) * cfg_.channels,
+                      d_pool.v.begin());
+            Mat d_from_pool = pools_[l].backward(d_pool);
+            if (d_map.rows == 0) {
+                d_map = d_from_pool;
+            } else {
+                for (std::size_t i = 0; i < d_map.v.size(); ++i)
+                    d_map.v[i] += d_from_pool.v[i];
+            }
+            d_map = relus_[l].backward(d_map);
+            d_map = convs_[l].backward(d_map);
+        }
+    }
+
+    void
+    collectParams(std::vector<Param*>& out) override
+    {
+        for (auto& c : convs_)
+            c.collectParams(out);
+        head_.collectParams(out);
+    }
+
+    u32 featureDim() const override { return cfg_.featureDim; }
+    std::string name() const override { return "WACONet"; }
+
+  private:
+    u32 dim_;
+    ExtractorConfig cfg_;
+    std::vector<SparseConv> convs_;
+    std::vector<SparseReLU> relus_;
+    std::vector<GlobalAvgPool> pools_;
+    std::vector<u32> site_counts_;
+    MLP head_;
+};
+
+/**
+ * MinkowskiNet-style baseline: submanifold stride-1 stack (no receptive
+ * field growth across distant nonzeros) and only the final layer pooled.
+ */
+class MinkowskiNetExtractor final : public FeatureExtractor
+{
+  public:
+    MinkowskiNetExtractor(u32 dim, const ExtractorConfig& cfg, Rng& rng)
+        : dim_(dim), cfg_(cfg)
+    {
+        u32 layers = std::max<u32>(2, cfg.numLayers / 2);
+        convs_.emplace_back(dim, 5, 1, 1, cfg.channels, rng);
+        for (u32 l = 1; l < layers; ++l)
+            convs_.emplace_back(dim, 3, 1, cfg.channels, cfg.channels, rng);
+        relus_.resize(layers);
+        head_ = MLP({cfg.channels, cfg.featureDim, cfg.featureDim}, rng);
+    }
+
+    Mat
+    forward(const PatternInput& in) override
+    {
+        SparseMap map;
+        map.dim = dim_;
+        map.coords = in.coords;
+        map.feats = Mat(map.numSites(), 1, 1.0f);
+        for (std::size_t l = 0; l < convs_.size(); ++l) {
+            map = convs_[l].forward(map);
+            map = relus_[l].forward(map);
+        }
+        Mat pooled = pool_.forward(map);
+        return head_.forward(pooled);
+    }
+
+    void
+    backward(const Mat& d_feat) override
+    {
+        Mat d = head_.backward(d_feat);
+        d = pool_.backward(d);
+        for (std::size_t l = convs_.size(); l-- > 0;) {
+            d = relus_[l].backward(d);
+            d = convs_[l].backward(d);
+        }
+    }
+
+    void
+    collectParams(std::vector<Param*>& out) override
+    {
+        for (auto& c : convs_)
+            c.collectParams(out);
+        head_.collectParams(out);
+    }
+
+    u32 featureDim() const override { return cfg_.featureDim; }
+    std::string name() const override { return "MinkowskiNet"; }
+
+  private:
+    u32 dim_;
+    ExtractorConfig cfg_;
+    std::vector<SparseConv> convs_;
+    std::vector<SparseReLU> relus_;
+    GlobalAvgPool pool_;
+    MLP head_;
+};
+
+/**
+ * DenseConv baseline [48]: downsample to a fixed grid of log-nonzero
+ * counts (Figure 5) and run a conventional strided CNN over the dense grid.
+ */
+class DenseConvExtractor final : public FeatureExtractor
+{
+  public:
+    static constexpr u32 kGrid = 64; // paper uses 128-256; scaled to CPU
+
+    DenseConvExtractor(u32 dim, const ExtractorConfig& cfg, Rng& rng)
+        : dim_(dim), cfg_(cfg)
+    {
+        u32 layers = 4;
+        u32 ch = std::min<u32>(16, cfg.channels);
+        convs_.emplace_back(dim, 3, 2, 1, ch, rng);
+        for (u32 l = 1; l < layers; ++l)
+            convs_.emplace_back(dim, 3, 2, ch, ch, rng);
+        relus_.resize(layers);
+        head_ = MLP({ch, cfg.featureDim, cfg.featureDim}, rng);
+    }
+
+    Mat
+    forward(const PatternInput& in) override
+    {
+        // Downsample: count nonzeros per grid cell (all cells active ->
+        // the sparse machinery degenerates to a dense convolution).
+        u32 g = dim_ == 2 ? kGrid : 16;
+        std::unordered_map<u64, float> counts;
+        for (const auto& c : in.coords) {
+            u64 key = 0;
+            for (u32 d = 0; d < dim_; ++d) {
+                u64 cell = static_cast<u64>(c[d]) * g /
+                           std::max<u32>(1, in.shape[d]);
+                key = key * g + cell;
+            }
+            counts[key] += 1.0f;
+        }
+        SparseMap map;
+        map.dim = dim_;
+        u64 total = 1;
+        for (u32 d = 0; d < dim_; ++d)
+            total *= g;
+        map.coords.reserve(total);
+        map.feats = Mat(static_cast<u32>(total), 1);
+        for (u64 cell = 0; cell < total; ++cell) {
+            std::array<i32, 3> coord = {0, 0, 0};
+            u64 rest = cell;
+            for (u32 d = dim_; d-- > 0;) {
+                coord[d] = static_cast<i32>(rest % g);
+                rest /= g;
+            }
+            map.coords.push_back(coord);
+            auto it = counts.find(cell);
+            map.feats.at(static_cast<u32>(cell), 0) =
+                it == counts.end() ? 0.0f : std::log1p(it->second);
+        }
+        for (std::size_t l = 0; l < convs_.size(); ++l) {
+            map = convs_[l].forward(map);
+            map = relus_[l].forward(map);
+        }
+        Mat pooled = pool_.forward(map);
+        return head_.forward(pooled);
+    }
+
+    void
+    backward(const Mat& d_feat) override
+    {
+        Mat d = head_.backward(d_feat);
+        d = pool_.backward(d);
+        for (std::size_t l = convs_.size(); l-- > 0;) {
+            d = relus_[l].backward(d);
+            d = convs_[l].backward(d);
+        }
+    }
+
+    void
+    collectParams(std::vector<Param*>& out) override
+    {
+        for (auto& c : convs_)
+            c.collectParams(out);
+        head_.collectParams(out);
+    }
+
+    u32 featureDim() const override { return cfg_.featureDim; }
+    std::string name() const override { return "DenseConv"; }
+
+  private:
+    u32 dim_;
+    ExtractorConfig cfg_;
+    std::vector<SparseConv> convs_;
+    std::vector<SparseReLU> relus_;
+    GlobalAvgPool pool_;
+    MLP head_;
+};
+
+/** HumanFeature baseline: (#rows, #cols, #nnz) through an MLP. */
+class HumanFeatureExtractor final : public FeatureExtractor
+{
+  public:
+    HumanFeatureExtractor(u32 dim, const ExtractorConfig& cfg, Rng& rng)
+        : dim_(dim), cfg_(cfg),
+          head_(MLP({3, 64, cfg.featureDim}, rng))
+    {}
+
+    Mat
+    forward(const PatternInput& in) override
+    {
+        Mat x(1, 3);
+        x.at(0, 0) = std::log1p(static_cast<float>(in.shape[0]));
+        x.at(0, 1) = std::log1p(static_cast<float>(in.shape[dim_ - 1]));
+        x.at(0, 2) = std::log1p(static_cast<float>(in.coords.size()));
+        return head_.forward(x);
+    }
+
+    void backward(const Mat& d_feat) override { head_.backward(d_feat); }
+
+    void
+    collectParams(std::vector<Param*>& out) override
+    {
+        head_.collectParams(out);
+    }
+
+    u32 featureDim() const override { return cfg_.featureDim; }
+    std::string name() const override { return "HumanFeature"; }
+
+  private:
+    u32 dim_;
+    ExtractorConfig cfg_;
+    MLP head_;
+};
+
+} // namespace
+
+std::unique_ptr<FeatureExtractor>
+makeFeatureExtractor(const std::string& kind, u32 pattern_dim,
+                     const ExtractorConfig& cfg, Rng& rng)
+{
+    if (kind == "waconet")
+        return std::make_unique<WacoNet>(pattern_dim, cfg, rng);
+    if (kind == "minkowski")
+        return std::make_unique<MinkowskiNetExtractor>(pattern_dim, cfg, rng);
+    if (kind == "denseconv")
+        return std::make_unique<DenseConvExtractor>(pattern_dim, cfg, rng);
+    if (kind == "human")
+        return std::make_unique<HumanFeatureExtractor>(pattern_dim, cfg, rng);
+    fatal("unknown feature extractor: " + kind);
+}
+
+} // namespace waco

@@ -1,0 +1,172 @@
+#include "model/program_embedder.hpp"
+
+namespace waco {
+
+using nn::Embedding;
+using nn::Mat;
+using nn::MLP;
+using nn::Param;
+
+namespace {
+
+/** log2 of a power-of-two parameter value (split or chunk size). */
+u32
+exponentOf(u32 v)
+{
+    panicIf(!isPow2(v), "schedule parameter is not a power of two");
+    return log2Floor(v);
+}
+
+constexpr u32 kSplitVocab = 16; // split in {2^0 .. 2^15} (Table 3)
+constexpr u32 kChunkVocab = 9;  // chunk in {2^0 .. 2^8}
+constexpr u32 kPermHidden = 32;
+constexpr u32 kPermDim = 16;
+
+} // namespace
+
+ProgramEmbedder::ProgramEmbedder(Algorithm alg, Rng& rng, u32 cat_dim,
+                                 u32 out_dim)
+    : alg_(alg), cat_dim_(cat_dim), out_dim_(out_dim)
+{
+    const auto& info = algorithmInfo(alg);
+    num_indices_ = info.numIndices;
+    num_slots_ = 2 * num_indices_;
+    num_sparse_slots_ = 2 * info.sparseOrder;
+
+    // Table order: splits | parallel slot | threads | chunk | level formats
+    // | free dense layouts. Vocabulary sizes per Table 3.
+    for (u32 idx = 0; idx < num_indices_; ++idx)
+        table_vocab_.push_back(kSplitVocab);
+    table_vocab_.push_back(num_slots_); // parallelized slot
+    table_vocab_.push_back(2);          // threads: 24 or 48
+    table_vocab_.push_back(kChunkVocab);
+    for (u32 l = 0; l < num_sparse_slots_; ++l)
+        table_vocab_.push_back(2); // U or C
+    for (const auto& op : info.denseOperands) {
+        if (!op.layoutFixed)
+            table_vocab_.push_back(2); // row- or column-major
+    }
+    for (u32 v : table_vocab_)
+        tables_.emplace_back(v, cat_dim_, rng);
+
+    loop_perm_mlp_ = MLP({num_slots_ * num_slots_, kPermHidden, kPermDim}, rng);
+    level_perm_mlp_ =
+        MLP({num_sparse_slots_ * num_sparse_slots_, kPermHidden, kPermDim},
+            rng);
+
+    u32 concat = static_cast<u32>(tables_.size()) * cat_dim_ + 2 * kPermDim;
+    head_ = MLP({concat, 128, out_dim_}, rng);
+}
+
+std::vector<u32>
+ProgramEmbedder::categoricalIds(const SuperSchedule& s) const
+{
+    const auto& info = algorithmInfo(alg_);
+    std::vector<u32> ids;
+    for (u32 idx = 0; idx < num_indices_; ++idx)
+        ids.push_back(std::min(kSplitVocab - 1, exponentOf(s.splits[idx])));
+    ids.push_back(s.parallelSlot);
+    ids.push_back(s.numThreads >= 48 ? 1 : 0);
+    ids.push_back(std::min(kChunkVocab - 1, exponentOf(s.ompChunk)));
+    for (u32 l = 0; l < num_sparse_slots_; ++l) {
+        ids.push_back(s.sparseLevelFormats[l] == LevelFormat::Compressed ? 1
+                                                                         : 0);
+    }
+    for (std::size_t op = 0; op < info.denseOperands.size(); ++op) {
+        if (!info.denseOperands[op].layoutFixed)
+            ids.push_back(s.denseRowMajor[op] ? 0 : 1);
+    }
+    panicIf(ids.size() != tables_.size(), "categorical id count mismatch");
+    return ids;
+}
+
+Mat
+ProgramEmbedder::forward(const std::vector<SuperSchedule>& batch)
+{
+    const auto& info = algorithmInfo(alg_);
+    batch_size_ = static_cast<u32>(batch.size());
+
+    // Gather categorical ids column-wise.
+    std::vector<std::vector<u32>> ids_per_table(tables_.size());
+    for (const auto& s : batch) {
+        auto ids = categoricalIds(s);
+        for (std::size_t t = 0; t < tables_.size(); ++t)
+            ids_per_table[t].push_back(ids[t]);
+    }
+
+    // Permutation matrices, flattened per schedule.
+    Mat loop_perm(batch_size_, num_slots_ * num_slots_);
+    Mat level_perm(batch_size_, num_sparse_slots_ * num_sparse_slots_);
+    for (u32 n = 0; n < batch_size_; ++n) {
+        const auto& s = batch[n];
+        for (u32 p = 0; p < num_slots_; ++p)
+            loop_perm.at(n, p * num_slots_ + s.loopOrder[p]) = 1.0f;
+        for (u32 p = 0; p < num_sparse_slots_; ++p) {
+            u32 slot = s.sparseLevelOrder[p];
+            u32 d = static_cast<u32>(info.sparseDim[slotIndex(slot)]);
+            u32 apos = 2 * d + (slotIsInner(slot) ? 1 : 0);
+            level_perm.at(n, p * num_sparse_slots_ + apos) = 1.0f;
+        }
+    }
+
+    // Concatenate table embeddings + permutation embeddings.
+    Mat loop_emb = loop_perm_mlp_.forward(loop_perm);
+    Mat level_emb = level_perm_mlp_.forward(level_perm);
+    u32 concat_dim = static_cast<u32>(tables_.size()) * cat_dim_ +
+                     2 * kPermDim;
+    Mat concat(batch_size_, concat_dim);
+    u32 col = 0;
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        Mat e = tables_[t].forward(ids_per_table[t]);
+        for (u32 n = 0; n < batch_size_; ++n) {
+            std::copy(e.row(n), e.row(n) + cat_dim_,
+                      concat.row(n) + col);
+        }
+        col += cat_dim_;
+    }
+    for (u32 n = 0; n < batch_size_; ++n) {
+        std::copy(loop_emb.row(n), loop_emb.row(n) + kPermDim,
+                  concat.row(n) + col);
+        std::copy(level_emb.row(n), level_emb.row(n) + kPermDim,
+                  concat.row(n) + col + kPermDim);
+    }
+    return head_.forward(concat);
+}
+
+void
+ProgramEmbedder::backward(const Mat& d_out)
+{
+    Mat d_concat = head_.backward(d_out);
+    u32 col = 0;
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+        Mat d(batch_size_, cat_dim_);
+        for (u32 n = 0; n < batch_size_; ++n) {
+            std::copy(d_concat.row(n) + col, d_concat.row(n) + col + cat_dim_,
+                      d.row(n));
+        }
+        tables_[t].backward(d);
+        col += cat_dim_;
+    }
+    Mat d_loop(batch_size_, kPermDim);
+    Mat d_level(batch_size_, kPermDim);
+    for (u32 n = 0; n < batch_size_; ++n) {
+        std::copy(d_concat.row(n) + col, d_concat.row(n) + col + kPermDim,
+                  d_loop.row(n));
+        std::copy(d_concat.row(n) + col + kPermDim,
+                  d_concat.row(n) + col + 2 * kPermDim, d_level.row(n));
+    }
+    loop_perm_mlp_.backward(d_loop);
+    level_perm_mlp_.backward(d_level);
+}
+
+void
+ProgramEmbedder::collectParams(std::vector<Param*>& out)
+{
+    for (auto& t : tables_)
+        t.collectParams(out);
+    loop_perm_mlp_.collectParams(out);
+    level_perm_mlp_.collectParams(out);
+    head_.collectParams(out);
+}
+
+} // namespace waco

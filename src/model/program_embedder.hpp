@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Program embedder (Section 4.1.2, Figure 11): maps a SuperSchedule's
+ * parameters to a real-valued embedding.
+ *
+ * Categorical parameters (split sizes, parallelization, chunk size, level
+ * formats, dense layouts) pass through learnable lookup tables; permutation
+ * parameters (compute-loop order, format level order) are converted to
+ * permutation matrices and pass through linear-ReLU stacks. Everything is
+ * concatenated and fed through a final MLP into the program embedding that
+ * both the runtime predictor and the KNN graph operate on.
+ */
+#pragma once
+
+#include <vector>
+
+#include "ir/schedule.hpp"
+#include "nn/layers.hpp"
+
+namespace waco {
+
+/** Batched program embedder for one algorithm's SuperSchedule space. */
+class ProgramEmbedder
+{
+  public:
+    /**
+     * @param alg algorithm whose template is embedded
+     * @param rng initializer
+     * @param cat_dim width of each categorical embedding
+     * @param out_dim width of the final program embedding
+     */
+    ProgramEmbedder(Algorithm alg, Rng& rng, u32 cat_dim = 8,
+                    u32 out_dim = 64);
+
+    u32 outDim() const { return out_dim_; }
+    Algorithm algorithm() const { return alg_; }
+
+    /** Embed a batch of schedules -> [N x outDim]. */
+    nn::Mat forward(const std::vector<SuperSchedule>& batch);
+
+    /** Backpropagate d(embedding) into all tables and MLPs. */
+    void backward(const nn::Mat& d_out);
+
+    void collectParams(std::vector<nn::Param*>& out);
+
+  private:
+    /** Categorical ids of one schedule, in fixed table order. */
+    std::vector<u32> categoricalIds(const SuperSchedule& s) const;
+
+    Algorithm alg_;
+    u32 num_indices_;
+    u32 num_slots_;
+    u32 num_sparse_slots_;
+    u32 cat_dim_;
+    u32 out_dim_;
+
+    std::vector<nn::Embedding> tables_;
+    std::vector<u32> table_vocab_;
+    nn::MLP loop_perm_mlp_;
+    nn::MLP level_perm_mlp_;
+    nn::MLP head_;
+
+    // Cached forward state for backward.
+    u32 batch_size_ = 0;
+};
+
+} // namespace waco

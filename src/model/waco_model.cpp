@@ -1,0 +1,142 @@
+#include "model/waco_model.hpp"
+
+#include "nn/serialize.hpp"
+
+namespace waco {
+
+using nn::Mat;
+
+WacoCostModel::WacoCostModel(Algorithm alg, const std::string& extractor_kind,
+                             const ExtractorConfig& cfg, u64 seed, double lr)
+    : alg_(alg), extractor_kind_(extractor_kind)
+{
+    Rng rng(seed);
+    u32 pattern_dim = algorithmInfo(alg).sparseOrder == 3 ? 3 : 2;
+    extractor_ = makeFeatureExtractor(extractor_kind, pattern_dim, cfg, rng);
+    embedder_ = std::make_unique<ProgramEmbedder>(alg, rng);
+    feature_dim_ = extractor_->featureDim();
+    predictor_ = nn::MLP(
+        {feature_dim_ + embedder_->outDim(), 128, 64, 1}, rng);
+    std::vector<nn::Param*> params;
+    extractor_->collectParams(params);
+    embedder_->collectParams(params);
+    predictor_.collectParams(params);
+    opt_ = std::make_unique<nn::Adam>(params, lr);
+}
+
+Mat
+WacoCostModel::extractFeature(const PatternInput& in)
+{
+    return extractor_->forward(in);
+}
+
+Mat
+WacoCostModel::programEmbeddings(const std::vector<SuperSchedule>& batch)
+{
+    return embedder_->forward(batch);
+}
+
+Mat
+WacoCostModel::predictFromEmbeddings(const Mat& feature, const Mat& embeddings)
+{
+    panicIf(feature.rows != 1 || feature.cols != feature_dim_,
+            "feature shape mismatch");
+    Mat x(embeddings.rows, feature_dim_ + embeddings.cols);
+    for (u32 n = 0; n < embeddings.rows; ++n) {
+        std::copy(feature.row(0), feature.row(0) + feature_dim_, x.row(n));
+        std::copy(embeddings.row(n), embeddings.row(n) + embeddings.cols,
+                  x.row(n) + feature_dim_);
+    }
+    return predictor_.forward(x);
+}
+
+Mat
+WacoCostModel::predict(const Mat& feature,
+                       const std::vector<SuperSchedule>& batch)
+{
+    Mat emb = embedder_->forward(batch);
+    return predictFromEmbeddings(feature, emb);
+}
+
+WacoCostModel::ForwardState
+WacoCostModel::forwardFull(const PatternInput& in,
+                           const std::vector<SuperSchedule>& batch)
+{
+    ForwardState st;
+    st.batch = static_cast<u32>(batch.size());
+    Mat feature = extractor_->forward(in);
+    st.pred = predict(feature, batch);
+    return st;
+}
+
+void
+WacoCostModel::backwardFull(const Mat& d_pred)
+{
+    Mat dx = predictor_.backward(d_pred);
+    // Split gradient: feature part sums over the batch (the feature row was
+    // broadcast), embedding part goes row-wise to the embedder.
+    Mat d_feat(1, feature_dim_);
+    Mat d_emb(dx.rows, embedder_->outDim());
+    for (u32 n = 0; n < dx.rows; ++n) {
+        for (u32 c = 0; c < feature_dim_; ++c)
+            d_feat.at(0, c) += dx.at(n, c);
+        std::copy(dx.row(n) + feature_dim_, dx.row(n) + dx.cols, d_emb.row(n));
+    }
+    embedder_->backward(d_emb);
+    extractor_->backward(d_feat);
+}
+
+double
+WacoCostModel::trainStep(const PatternInput& in,
+                         const std::vector<SuperSchedule>& batch,
+                         const std::vector<double>& runtimes, bool use_l2)
+{
+    auto st = forwardFull(in, batch);
+    auto loss = use_l2 ? nn::l2LogLoss(st.pred, runtimes)
+                       : nn::pairwiseHingeLoss(st.pred, runtimes);
+    backwardFull(loss.dPred);
+    opt_->step();
+    return loss.loss;
+}
+
+double
+WacoCostModel::evalLoss(const PatternInput& in,
+                        const std::vector<SuperSchedule>& batch,
+                        const std::vector<double>& runtimes, bool use_l2)
+{
+    auto st = forwardFull(in, batch);
+    auto loss = use_l2 ? nn::l2LogLoss(st.pred, runtimes)
+                       : nn::pairwiseHingeLoss(st.pred, runtimes);
+    return loss.loss;
+}
+
+double
+WacoCostModel::evalOrderAccuracy(const PatternInput& in,
+                                 const std::vector<SuperSchedule>& batch,
+                                 const std::vector<double>& runtimes)
+{
+    auto st = forwardFull(in, batch);
+    return nn::pairwiseOrderAccuracy(st.pred, runtimes);
+}
+
+void
+WacoCostModel::save(const std::string& path)
+{
+    std::vector<nn::Param*> params;
+    extractor_->collectParams(params);
+    embedder_->collectParams(params);
+    predictor_.collectParams(params);
+    nn::saveParams(params, path);
+}
+
+void
+WacoCostModel::load(const std::string& path)
+{
+    std::vector<nn::Param*> params;
+    extractor_->collectParams(params);
+    embedder_->collectParams(params);
+    predictor_.collectParams(params);
+    nn::loadParams(params, path);
+}
+
+} // namespace waco

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The full WACO cost model (Figure 6): feature extractor + program embedder
+ * + runtime predictor, trained with the pairwise ranking loss.
+ *
+ * The three-part split mirrors how the model is *used* at search time
+ * (Figure 1c / Section 5.4): the sparsity-pattern feature is extracted once
+ * per input matrix, KNN-graph nodes memoize their program embeddings, and
+ * the graph walk only re-runs the cheap runtime-predictor head.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/feature_extractor.hpp"
+#include "model/program_embedder.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace waco {
+
+/** End-to-end learned cost model for one algorithm. */
+class WacoCostModel
+{
+  public:
+    /**
+     * @param alg algorithm whose schedules are scored
+     * @param extractor_kind "waconet" | "minkowski" | "denseconv" | "human"
+     * @param cfg network widths (paper defaults; shrink for unit tests)
+     * @param seed parameter-init seed
+     * @param lr Adam learning rate (paper: 1e-4)
+     */
+    WacoCostModel(Algorithm alg, const std::string& extractor_kind,
+                  const ExtractorConfig& cfg, u64 seed, double lr = 1e-4);
+
+    Algorithm algorithm() const { return alg_; }
+    const std::string& extractorName() const { return extractor_kind_; }
+    u32 embeddingDim() const { return embedder_->outDim(); }
+
+    /** Run the feature extractor once for an input pattern. */
+    nn::Mat extractFeature(const PatternInput& in);
+
+    /** Program embeddings for a batch of schedules (KNN-graph nodes). */
+    nn::Mat programEmbeddings(const std::vector<SuperSchedule>& batch);
+
+    /** Predicted relative cost for schedules, given a cached feature. */
+    nn::Mat predict(const nn::Mat& feature,
+                    const std::vector<SuperSchedule>& batch);
+
+    /**
+     * Search-time fast path: score pre-computed program embeddings against
+     * a cached feature using only the predictor head.
+     */
+    nn::Mat predictFromEmbeddings(const nn::Mat& feature,
+                                  const nn::Mat& embeddings);
+
+    /**
+     * One optimizer step on a (matrix, schedule batch) group: forward,
+     * pairwise hinge loss (or L2 for the ablation), backward, Adam update.
+     * @return the batch loss before the update.
+     */
+    double trainStep(const PatternInput& in,
+                     const std::vector<SuperSchedule>& batch,
+                     const std::vector<double>& runtimes,
+                     bool use_l2 = false);
+
+    /** Loss without any update (validation). */
+    double evalLoss(const PatternInput& in,
+                    const std::vector<SuperSchedule>& batch,
+                    const std::vector<double>& runtimes, bool use_l2 = false);
+
+    /** Ranking accuracy on a batch (fraction of pairs ordered correctly). */
+    double evalOrderAccuracy(const PatternInput& in,
+                             const std::vector<SuperSchedule>& batch,
+                             const std::vector<double>& runtimes);
+
+    void save(const std::string& path);
+    void load(const std::string& path);
+
+  private:
+    struct ForwardState
+    {
+        nn::Mat pred;
+        u32 batch = 0;
+    };
+
+    ForwardState forwardFull(const PatternInput& in,
+                             const std::vector<SuperSchedule>& batch);
+    void backwardFull(const nn::Mat& d_pred);
+
+    Algorithm alg_;
+    std::string extractor_kind_;
+    std::unique_ptr<FeatureExtractor> extractor_;
+    std::unique_ptr<ProgramEmbedder> embedder_;
+    nn::MLP predictor_;
+    std::unique_ptr<nn::Adam> opt_;
+    u32 feature_dim_ = 0;
+};
+
+} // namespace waco

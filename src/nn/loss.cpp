@@ -1,0 +1,78 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace waco::nn {
+
+LossResult
+pairwiseHingeLoss(const Mat& pred, const std::vector<double>& truth)
+{
+    panicIf(pred.cols != 1 || pred.rows != truth.size(),
+            "pairwiseHingeLoss shape mismatch");
+    LossResult out;
+    out.dPred = Mat(pred.rows, 1);
+    u64 pairs = 0;
+    for (u32 j = 0; j < pred.rows; ++j) {
+        for (u32 k = j + 1; k < pred.rows; ++k) {
+            if (truth[j] == truth[k])
+                continue;
+            ++pairs;
+            // sign(y_j - y_k): +1 when j is slower, so the model should
+            // predict yhat_j > yhat_k; hinge on the margin.
+            double sign = truth[j] > truth[k] ? 1.0 : -1.0;
+            double margin = sign * (pred.at(j, 0) - pred.at(k, 0));
+            double h = 1.0 - margin;
+            if (h > 0.0) {
+                out.loss += h;
+                out.dPred.at(j, 0) += static_cast<float>(-sign);
+                out.dPred.at(k, 0) += static_cast<float>(sign);
+            }
+        }
+    }
+    if (pairs > 0) {
+        out.loss /= static_cast<double>(pairs);
+        for (auto& g : out.dPred.v)
+            g /= static_cast<float>(pairs);
+    }
+    return out;
+}
+
+LossResult
+l2LogLoss(const Mat& pred, const std::vector<double>& truth)
+{
+    panicIf(pred.cols != 1 || pred.rows != truth.size(),
+            "l2LogLoss shape mismatch");
+    LossResult out;
+    out.dPred = Mat(pred.rows, 1);
+    for (u32 j = 0; j < pred.rows; ++j) {
+        double target = std::log(std::max(1e-12, truth[j]));
+        double diff = pred.at(j, 0) - target;
+        out.loss += diff * diff;
+        out.dPred.at(j, 0) = static_cast<float>(2.0 * diff / pred.rows);
+    }
+    out.loss /= pred.rows;
+    return out;
+}
+
+double
+pairwiseOrderAccuracy(const Mat& pred, const std::vector<double>& truth)
+{
+    panicIf(pred.cols != 1 || pred.rows != truth.size(),
+            "pairwiseOrderAccuracy shape mismatch");
+    u64 pairs = 0, correct = 0;
+    for (u32 j = 0; j < pred.rows; ++j) {
+        for (u32 k = j + 1; k < pred.rows; ++k) {
+            if (truth[j] == truth[k])
+                continue;
+            ++pairs;
+            bool want = truth[j] > truth[k];
+            bool got = pred.at(j, 0) > pred.at(k, 0);
+            correct += (want == got);
+        }
+    }
+    return pairs ? static_cast<double>(correct) / pairs : 1.0;
+}
+
+} // namespace waco::nn

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Pairwise ranking losses for cost-model training (Section 4.1.3).
+ *
+ * The cost model learns the *ranking* of SuperSchedules for a matrix, not
+ * the absolute runtime:
+ *   L = sum_{(j,k)} sign(y_j - y_k) * phi(yhat_j - yhat_k),
+ * with phi the hinge max(0, 1 - x) as adopted by the paper. An L2 loss is
+ * also provided for the ablation bench.
+ */
+#pragma once
+
+#include <vector>
+
+#include "nn/mat.hpp"
+
+namespace waco::nn {
+
+/** Loss value and gradient w.r.t. the predictions. */
+struct LossResult
+{
+    double loss = 0.0;
+    Mat dPred; ///< Same shape as the prediction column.
+};
+
+/**
+ * Pairwise hinge ranking loss over a batch of predictions for the SAME
+ * matrix. @p pred and @p truth are [N x 1]; all N*(N-1)/2 pairs contribute.
+ */
+LossResult pairwiseHingeLoss(const Mat& pred, const std::vector<double>& truth);
+
+/** Mean squared error against log-runtimes, for the loss ablation. */
+LossResult l2LogLoss(const Mat& pred, const std::vector<double>& truth);
+
+/**
+ * Ranking accuracy: fraction of pairs ordered correctly by @p pred.
+ * A perfect cost model scores 1.0; random scores ~0.5.
+ */
+double pairwiseOrderAccuracy(const Mat& pred,
+                             const std::vector<double>& truth);
+
+} // namespace waco::nn

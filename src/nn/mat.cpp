@@ -1,0 +1,68 @@
+#include "nn/mat.hpp"
+
+namespace waco::nn {
+
+void
+matmul(const Mat& a, const Mat& b, Mat& c)
+{
+    c = Mat(a.rows, b.cols);
+    matmulAcc(a, b, c);
+}
+
+void
+matmulAcc(const Mat& a, const Mat& b, Mat& c)
+{
+    panicIf(a.cols != b.rows || c.rows != a.rows || c.cols != b.cols,
+            "matmul shape mismatch");
+    for (u32 i = 0; i < a.rows; ++i) {
+        const float* arow = a.row(i);
+        float* crow = c.row(i);
+        for (u32 k = 0; k < a.cols; ++k) {
+            float av = arow[k];
+            if (av == 0.0f)
+                continue;
+            const float* brow = b.row(k);
+            for (u32 j = 0; j < b.cols; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+matmulTN(const Mat& a, const Mat& b, Mat& c)
+{
+    panicIf(a.rows != b.rows, "matmulTN shape mismatch");
+    c = Mat(a.cols, b.cols);
+    for (u32 k = 0; k < a.rows; ++k) {
+        const float* arow = a.row(k);
+        const float* brow = b.row(k);
+        for (u32 i = 0; i < a.cols; ++i) {
+            float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float* crow = c.row(i);
+            for (u32 j = 0; j < b.cols; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+matmulNT(const Mat& a, const Mat& b, Mat& c)
+{
+    panicIf(a.cols != b.cols, "matmulNT shape mismatch");
+    c = Mat(a.rows, b.rows);
+    for (u32 i = 0; i < a.rows; ++i) {
+        const float* arow = a.row(i);
+        float* crow = c.row(i);
+        for (u32 j = 0; j < b.rows; ++j) {
+            const float* brow = b.row(j);
+            float acc = 0.0f;
+            for (u32 k = 0; k < a.cols; ++k)
+                acc += arow[k] * brow[k];
+            crow[j] = acc;
+        }
+    }
+}
+
+} // namespace waco::nn

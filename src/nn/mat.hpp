@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal dense row-major float matrix used by the neural-network stack.
+ * Deliberately separate from tensor/dense.hpp: kernels there model the
+ * *workload*; this type is plumbing for the cost model's own math.
+ */
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace waco::nn {
+
+/** Row-major float matrix. */
+struct Mat
+{
+    u32 rows = 0;
+    u32 cols = 0;
+    std::vector<float> v;
+
+    Mat() = default;
+    Mat(u32 r, u32 c, float fill = 0.0f) : rows(r), cols(c), v(static_cast<std::size_t>(r) * c, fill) {}
+
+    float& at(u32 r, u32 c) { return v[static_cast<std::size_t>(r) * cols + c]; }
+    float at(u32 r, u32 c) const { return v[static_cast<std::size_t>(r) * cols + c]; }
+    float* row(u32 r) { return v.data() + static_cast<std::size_t>(r) * cols; }
+    const float* row(u32 r) const { return v.data() + static_cast<std::size_t>(r) * cols; }
+
+    void zero() { std::fill(v.begin(), v.end(), 0.0f); }
+};
+
+/** C = A * B (rows_a x cols_b). */
+void matmul(const Mat& a, const Mat& b, Mat& c);
+
+/** C = A^T * B. */
+void matmulTN(const Mat& a, const Mat& b, Mat& c);
+
+/** C = A * B^T. */
+void matmulNT(const Mat& a, const Mat& b, Mat& c);
+
+/** C += A * B. */
+void matmulAcc(const Mat& a, const Mat& b, Mat& c);
+
+} // namespace waco::nn

@@ -1,0 +1,46 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace waco::nn {
+
+Adam::Adam(std::vector<Param*> params, double lr, double beta1, double beta2,
+           double eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps)
+{
+    for (Param* p : params_) {
+        m_.emplace_back(p->w.v.size(), 0.0f);
+        v_.emplace_back(p->w.v.size(), 0.0f);
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Param* p = params_[i];
+        for (std::size_t j = 0; j < p->w.v.size(); ++j) {
+            double g = p->g.v[j];
+            m_[i][j] = static_cast<float>(beta1_ * m_[i][j] + (1 - beta1_) * g);
+            v_[i][j] = static_cast<float>(beta2_ * v_[i][j] +
+                                          (1 - beta2_) * g * g);
+            double mh = m_[i][j] / bc1;
+            double vh = v_[i][j] / bc2;
+            p->w.v[j] -= static_cast<float>(lr_ * mh / (std::sqrt(vh) + eps_));
+        }
+        p->zeroGrad();
+    }
+}
+
+void
+Adam::zeroGrad()
+{
+    for (Param* p : params_)
+        p->zeroGrad();
+}
+
+} // namespace waco::nn

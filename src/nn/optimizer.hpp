@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Adam optimizer (Kingma & Ba [24]), the paper's choice with lr = 1e-4.
+ */
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace waco::nn {
+
+/** Adam over a fixed set of registered parameters. */
+class Adam
+{
+  public:
+    explicit Adam(std::vector<Param*> params, double lr = 1e-4,
+                  double beta1 = 0.9, double beta2 = 0.999,
+                  double eps = 1e-8);
+
+    /** Apply one update from the accumulated gradients, then zero them. */
+    void step();
+
+    /** Zero all gradients without updating. */
+    void zeroGrad();
+
+    double learningRate() const { return lr_; }
+    void setLearningRate(double lr) { lr_ = lr; }
+
+  private:
+    std::vector<Param*> params_;
+    std::vector<std::vector<float>> m_;
+    std::vector<std::vector<float>> v_;
+    double lr_, beta1_, beta2_, eps_;
+    u64 t_ = 0;
+};
+
+} // namespace waco::nn

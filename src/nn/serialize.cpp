@@ -1,0 +1,53 @@
+#include "nn/serialize.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/common.hpp"
+
+namespace waco::nn {
+
+namespace {
+constexpr u32 kMagic = 0x57414321; // "WAC!"
+}
+
+void
+saveParams(const std::vector<Param*>& params, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatalIf(!out, "cannot open for writing: " + path);
+    u32 count = static_cast<u32>(params.size());
+    out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+    out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const Param* p : params) {
+        out.write(reinterpret_cast<const char*>(&p->w.rows), sizeof(u32));
+        out.write(reinterpret_cast<const char*>(&p->w.cols), sizeof(u32));
+        out.write(reinterpret_cast<const char*>(p->w.v.data()),
+                  static_cast<std::streamsize>(p->w.v.size() * sizeof(float)));
+    }
+    fatalIf(!out, "write failed: " + path);
+}
+
+void
+loadParams(const std::vector<Param*>& params, const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open for reading: " + path);
+    u32 magic = 0, count = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    in.read(reinterpret_cast<char*>(&count), sizeof(count));
+    fatalIf(magic != kMagic, "bad model file magic: " + path);
+    fatalIf(count != params.size(), "parameter count mismatch: " + path);
+    for (Param* p : params) {
+        u32 rows = 0, cols = 0;
+        in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+        in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+        fatalIf(rows != p->w.rows || cols != p->w.cols,
+                "parameter shape mismatch: " + path);
+        in.read(reinterpret_cast<char*>(p->w.v.data()),
+                static_cast<std::streamsize>(p->w.v.size() * sizeof(float)));
+    }
+    fatalIf(!in, "read failed: " + path);
+}
+
+} // namespace waco::nn

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Binary (de)serialization of model parameters, so trained cost models can
+ * be saved once and reused by examples and benches.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace waco::nn {
+
+/** Write all parameter tensors to @p path. Format: magic, count, then
+ *  (rows, cols, floats) per parameter in registration order. */
+void saveParams(const std::vector<Param*>& params, const std::string& path);
+
+/** Load parameters saved by saveParams into an identically-shaped model.
+ *  @throws FatalError on shape or magic mismatch. */
+void loadParams(const std::vector<Param*>& params, const std::string& path);
+
+} // namespace waco::nn

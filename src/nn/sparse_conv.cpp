@@ -1,0 +1,211 @@
+#include "nn/sparse_conv.hpp"
+
+namespace waco::nn {
+
+namespace {
+
+/** Hash a D-dimensional integer coordinate. */
+struct CoordHash
+{
+    std::size_t
+    operator()(const std::array<i32, 3>& c) const
+    {
+        u64 h = 0xcbf29ce484222325ull;
+        for (i32 x : c) {
+            h ^= static_cast<u64>(static_cast<u32>(x));
+            h *= 0x100000001b3ull;
+            h ^= h >> 31;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+using CoordMap = std::unordered_map<std::array<i32, 3>, u32, CoordHash>;
+
+} // namespace
+
+SparseConv::SparseConv(u32 dim, u32 kernel, u32 stride, u32 in_ch, u32 out_ch,
+                       Rng& rng)
+    : dim_(dim), kernel_(kernel), stride_(stride), inCh_(in_ch), outCh_(out_ch)
+{
+    fatalIf(kernel % 2 == 0, "sparse conv kernel must be odd");
+    fatalIf(stride != 1 && stride != 2, "sparse conv stride must be 1 or 2");
+    i32 half = static_cast<i32>(kernel) / 2;
+    std::array<i32, 3> off = {0, 0, 0};
+    // Enumerate the D-dimensional offset cube.
+    std::vector<std::array<i32, 3>> offsets;
+    auto enumerate = [&](auto&& self, u32 d) -> void {
+        if (d == dim) {
+            offsets.push_back(off);
+            return;
+        }
+        for (i32 x = -half; x <= half; ++x) {
+            off[d] = x;
+            self(self, d + 1);
+        }
+    };
+    enumerate(enumerate, 0);
+    offsets_ = std::move(offsets);
+    u32 fan_in = in_ch * static_cast<u32>(offsets_.size());
+    for (std::size_t o = 0; o < offsets_.size(); ++o) {
+        w_.emplace_back(in_ch, out_ch);
+        w_.back().init(rng, fan_in);
+    }
+    b_ = Param(1, out_ch);
+    b_.init(rng, fan_in);
+}
+
+SparseMap
+SparseConv::forward(const SparseMap& in)
+{
+    panicIf(in.feats.cols != inCh_, "sparse conv channel mismatch");
+    in_feats_ = in.feats;
+    in_sites_ = in.numSites();
+
+    SparseMap out;
+    out.dim = in.dim;
+
+    CoordMap out_index;
+    out_index.reserve(in.numSites() * 2);
+
+    if (stride_ == 1) {
+        // Submanifold: output sites == input sites.
+        out.coords = in.coords;
+        for (u32 i = 0; i < in.numSites(); ++i)
+            out_index.emplace(in.coords[i], i);
+    } else {
+        // Strided (MinkowskiEngine semantics): output sites live on the
+        // coarse grid at floor(p / stride), so each layer strictly
+        // coarsens the coordinate space.
+        auto floor_div = [](i32 x, i32 s) {
+            return x >= 0 ? x / s : -((-x + s - 1) / s);
+        };
+        for (u32 i = 0; i < in.numSites(); ++i) {
+            std::array<i32, 3> t = {0, 0, 0};
+            for (u32 d = 0; d < dim_; ++d)
+                t[d] = floor_div(in.coords[i][d], static_cast<i32>(stride_));
+            if (out_index.emplace(t, static_cast<u32>(out.coords.size()))
+                    .second) {
+                out.coords.push_back(t);
+            }
+        }
+    }
+
+    // Gather pair lists per offset: input p contributes to output q when
+    // p == q*stride + off.
+    pairs_.assign(offsets_.size(), {});
+    CoordMap in_index;
+    in_index.reserve(in.numSites() * 2);
+    for (u32 i = 0; i < in.numSites(); ++i)
+        in_index.emplace(in.coords[i], i);
+
+    for (u32 q = 0; q < out.coords.size(); ++q) {
+        for (std::size_t o = 0; o < offsets_.size(); ++o) {
+            std::array<i32, 3> p = {0, 0, 0};
+            for (u32 d = 0; d < dim_; ++d) {
+                p[d] = out.coords[q][d] * static_cast<i32>(stride_) +
+                       offsets_[o][d];
+            }
+            auto it = in_index.find(p);
+            if (it != in_index.end())
+                pairs_[o].push_back({it->second, q});
+        }
+    }
+
+    out.feats = Mat(static_cast<u32>(out.coords.size()), outCh_);
+    for (u32 q = 0; q < out.feats.rows; ++q) {
+        float* orow = out.feats.row(q);
+        for (u32 c = 0; c < outCh_; ++c)
+            orow[c] = b_.w.at(0, c);
+    }
+    for (std::size_t o = 0; o < offsets_.size(); ++o) {
+        const Mat& w = w_[o].w;
+        for (const auto& [pi, qi] : pairs_[o]) {
+            const float* irow = in_feats_.row(pi);
+            float* orow = out.feats.row(qi);
+            for (u32 ci = 0; ci < inCh_; ++ci) {
+                float x = irow[ci];
+                if (x == 0.0f)
+                    continue;
+                const float* wrow = w.row(ci);
+                for (u32 co = 0; co < outCh_; ++co)
+                    orow[co] += x * wrow[co];
+            }
+        }
+    }
+    return out;
+}
+
+Mat
+SparseConv::backward(const Mat& d_out)
+{
+    Mat d_in(in_sites_, inCh_);
+    for (u32 q = 0; q < d_out.rows; ++q) {
+        const float* drow = d_out.row(q);
+        for (u32 c = 0; c < outCh_; ++c)
+            b_.g.at(0, c) += drow[c];
+    }
+    for (std::size_t o = 0; o < offsets_.size(); ++o) {
+        const Mat& w = w_[o].w;
+        Mat& gw = w_[o].g;
+        for (const auto& [pi, qi] : pairs_[o]) {
+            const float* irow = in_feats_.row(pi);
+            const float* drow = d_out.row(qi);
+            float* dirow = d_in.row(pi);
+            for (u32 ci = 0; ci < inCh_; ++ci) {
+                const float* wrow = w.row(ci);
+                float* gwrow = gw.row(ci);
+                float x = irow[ci];
+                float acc = 0.0f;
+                for (u32 co = 0; co < outCh_; ++co) {
+                    acc += drow[co] * wrow[co];
+                    gwrow[co] += x * drow[co];
+                }
+                dirow[ci] += acc;
+            }
+        }
+    }
+    return d_in;
+}
+
+void
+SparseConv::collectParams(std::vector<Param*>& out)
+{
+    for (auto& w : w_)
+        out.push_back(&w);
+    out.push_back(&b_);
+}
+
+Mat
+GlobalAvgPool::forward(const SparseMap& in)
+{
+    sites_ = in.numSites();
+    channels_ = in.feats.cols;
+    Mat out(1, channels_);
+    if (sites_ == 0)
+        return out;
+    for (u32 r = 0; r < sites_; ++r) {
+        const float* row = in.feats.row(r);
+        for (u32 c = 0; c < channels_; ++c)
+            out.at(0, c) += row[c];
+    }
+    for (u32 c = 0; c < channels_; ++c)
+        out.at(0, c) /= static_cast<float>(sites_);
+    return out;
+}
+
+Mat
+GlobalAvgPool::backward(const Mat& d_out)
+{
+    Mat d_in(sites_, channels_);
+    if (sites_ == 0)
+        return d_in;
+    for (u32 r = 0; r < sites_; ++r) {
+        float* row = d_in.row(r);
+        for (u32 c = 0; c < channels_; ++c)
+            row[c] = d_out.at(0, c) / static_cast<float>(sites_);
+    }
+    return d_in;
+}
+
+} // namespace waco::nn

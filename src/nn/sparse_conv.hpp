@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Sparse (submanifold) convolution layers, the core of WACONet.
+ *
+ * A SparseMap is a set of active coordinate sites with a feature row per
+ * site — exactly the representation MinkowskiEngine uses. Two layer modes:
+ *
+ *  - stride 1 (submanifold, Graham & van der Maaten [17]): output sites are
+ *    the input sites; the filter only fires where its *center* lands on an
+ *    active site, so activations never densify (Figure 7).
+ *  - stride 2: output sites live on the coarsened grid; stacked strided
+ *    layers force the receptive field to grow so distant nonzeros can
+ *    communicate (Figure 8), the key architectural idea of WACONet.
+ *
+ * Coordinates are D-dimensional (D = 2 for matrices, 3 for MTTKRP tensors);
+ * the same layer code serves both, as the paper notes WACONet extends to
+ * higher-order tensors by changing the filter dimension.
+ */
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/mat.hpp"
+
+namespace waco::nn {
+
+/** Active sites + features of a sparse feature map. */
+struct SparseMap
+{
+    u32 dim = 2;                              ///< Spatial dimensionality.
+    std::vector<std::array<i32, 3>> coords;   ///< One entry per active site.
+    Mat feats;                                ///< [numSites x channels].
+
+    u32 numSites() const { return static_cast<u32>(coords.size()); }
+};
+
+/** Sparse convolution with square/cubic kernels and stride 1 or 2. */
+class SparseConv
+{
+  public:
+    SparseConv() = default;
+
+    /**
+     * @param dim spatial dimensionality (2 or 3)
+     * @param kernel filter edge length (odd; 3 or 5)
+     * @param stride 1 (submanifold) or 2 (downsampling)
+     */
+    SparseConv(u32 dim, u32 kernel, u32 stride, u32 in_ch, u32 out_ch,
+               Rng& rng);
+
+    u32 inChannels() const { return inCh_; }
+    u32 outChannels() const { return outCh_; }
+
+    /** Forward pass; caches the gather/scatter pairs for backward. */
+    SparseMap forward(const SparseMap& in);
+
+    /** Backward from d(out feats); accumulates dW/db, returns d(in feats). */
+    Mat backward(const Mat& d_out);
+
+    void collectParams(std::vector<Param*>& out);
+
+  private:
+    u32 dim_ = 2;
+    u32 kernel_ = 3;
+    u32 stride_ = 1;
+    u32 inCh_ = 0;
+    u32 outCh_ = 0;
+    std::vector<std::array<i32, 3>> offsets_;
+    std::vector<Param> w_; ///< One [inCh x outCh] filter per offset.
+    Param b_;              ///< [1 x outCh].
+
+    // Cached from forward: per-offset (input site, output site) pairs.
+    std::vector<std::vector<std::pair<u32, u32>>> pairs_;
+    Mat in_feats_;
+    u32 in_sites_ = 0;
+};
+
+/** Mean over all sites -> a [1 x C] row (per-layer pooling in Figure 9). */
+class GlobalAvgPool
+{
+  public:
+    Mat forward(const SparseMap& in);
+    /** Returns d(in feats) given d(pooled). */
+    Mat backward(const Mat& d_out);
+
+  private:
+    u32 sites_ = 0;
+    u32 channels_ = 0;
+};
+
+/** ReLU over a sparse map's features. */
+class SparseReLU
+{
+  public:
+    SparseMap
+    forward(const SparseMap& in)
+    {
+        SparseMap out = in;
+        out.feats = relu_.forward(in.feats);
+        return out;
+    }
+
+    Mat backward(const Mat& dy) { return relu_.backward(dy); }
+
+  private:
+    ReLU relu_;
+};
+
+} // namespace waco::nn

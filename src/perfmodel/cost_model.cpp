@@ -1,0 +1,527 @@
+#include "perfmodel/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+namespace waco {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kLineBytes = 64.0;
+
+/** Mixing step for coordinate-tuple hashing. */
+u64
+hashCombine(u64 h, u64 v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+/**
+ * Approximate distinct counting via linear counting over a fixed bitmap
+ * (Whang et al.): insert hashes, then estimate n ≈ -m * ln(empty/m).
+ * Replaces exact hash sets in the hot path of the oracle — the estimate is
+ * within a few percent for the cardinalities we see, and the bitmap makes
+ * one measurement O(nnz) with a small constant.
+ */
+class LinearCounter
+{
+  public:
+    LinearCounter() : bits_(kWords, 0) {}
+
+    void
+    reset()
+    {
+        std::fill(bits_.begin(), bits_.end(), 0);
+    }
+
+    void
+    insert(u64 h)
+    {
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 29;
+        u64 bit = h & (kBits - 1);
+        bits_[bit >> 6] |= 1ull << (bit & 63);
+    }
+
+    double
+    estimate() const
+    {
+        u64 set = 0;
+        for (u64 w : bits_)
+            set += static_cast<u64>(__builtin_popcountll(w));
+        if (set == 0)
+            return 0.0;
+        if (set >= kBits)
+            return static_cast<double>(kBits);
+        double m = static_cast<double>(kBits);
+        return -m * std::log((m - static_cast<double>(set)) / m);
+    }
+
+  private:
+    static constexpr u64 kBits = 1ull << 22; // 4M bits = 512 KiB
+    static constexpr u64 kWords = kBits / 64;
+    std::vector<u64> bits_;
+};
+
+/** Per-nonzero coordinate of a slot (outer: c/split, inner: c%split). */
+u32
+slotCoordOf(const SuperSchedule& s, const AlgorithmInfo& info, u32 slot,
+            const std::array<u32, 3>& coords, const ProblemShape& shape)
+{
+    u32 idx = slotIndex(slot);
+    int d = info.sparseDim[idx];
+    panicIf(d < 0, "slotCoordOf on a dense-only index");
+    u32 c = coords[d];
+    u32 split = std::min(s.splits[idx], shape.indexExtent[idx]);
+    return slotIsInner(slot) ? c % split : c / split;
+}
+
+} // namespace
+
+Measurement
+RuntimeOracle::measure(const SparseMatrix& m, const ProblemShape& shape,
+                       const SuperSchedule& s) const
+{
+    ++measurements_;
+    Measurement out;
+    try {
+        validateSchedule(s, shape);
+        auto fmt = HierSparseTensor::build(formatOf(s, shape), m,
+                                           maxFormatBytes_);
+        std::vector<std::array<u32, 3>> coords(m.nnz());
+        for (u64 n = 0; n < m.nnz(); ++n)
+            coords[n] = {m.rowIndices()[n], m.colIndices()[n], 0};
+        return measureImpl(coords, m.nnz(), shape, s, fmt);
+    } catch (const FatalError& e) {
+        out.valid = false;
+        out.invalidReason = e.what();
+        out.seconds = kInf;
+        return out;
+    }
+}
+
+Measurement
+RuntimeOracle::measure(const Sparse3Tensor& t, const ProblemShape& shape,
+                       const SuperSchedule& s) const
+{
+    ++measurements_;
+    Measurement out;
+    try {
+        validateSchedule(s, shape);
+        auto fmt = HierSparseTensor::build(formatOf(s, shape), t,
+                                           maxFormatBytes_);
+        std::vector<std::array<u32, 3>> coords(t.nnz());
+        for (u64 n = 0; n < t.nnz(); ++n)
+            coords[n] = {t.iIndices()[n], t.kIndices()[n], t.lIndices()[n]};
+        return measureImpl(coords, t.nnz(), shape, s, fmt);
+    } catch (const FatalError& e) {
+        out.valid = false;
+        out.invalidReason = e.what();
+        out.seconds = kInf;
+        return out;
+    }
+}
+
+double
+RuntimeOracle::conversionSeconds(u64 nnz, u64 stored_values) const
+{
+    // Sort-dominated assembly of pos/crd/val arrays, single-threaded as in
+    // TACO's pack routine.
+    double n = static_cast<double>(nnz);
+    double cycles = n * std::log2(std::max(2.0, n)) * 4.0 +
+                    static_cast<double>(stored_values) * 2.0;
+    return cycles / (machine_.freqGHz * 1e9);
+}
+
+Measurement
+RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
+                           u64 nnz, const ProblemShape& shape,
+                           const SuperSchedule& s,
+                           const HierSparseTensor& fmt) const
+{
+    const auto& info = algorithmInfo(s.alg);
+    const MachineConfig& mc = machine_;
+    Measurement out;
+    out.storedValues = fmt.storedValues();
+    out.formatBytes = fmt.bytes();
+
+    const auto loops = activeLoopOrder(s);
+    const auto level_slots = activeSparseLevelOrder(s);
+    const u32 num_loops = static_cast<u32>(loops.size());
+    const u32 num_levels = static_cast<u32>(level_slots.size());
+
+    auto loop_pos = [&](u32 slot) -> u32 {
+        // Degenerate inner slots execute "at" their outer half's position.
+        for (u32 p = 0; p < num_loops; ++p) {
+            if (loops[p] == slot)
+                return p;
+        }
+        u32 outer = outerSlot(slotIndex(slot));
+        for (u32 p = 0; p < num_loops; ++p) {
+            if (loops[p] == outer)
+                return p;
+        }
+        panic("slot not found in loop order");
+    };
+
+    auto dense_only = [&](u32 idx) { return info.sparseDim[idx] < 0; };
+
+    // ---- visit multipliers from dense-only loops placed outside ----
+    auto dense_mult_before = [&](u32 pos) {
+        double m = 1.0;
+        for (u32 p = 0; p < pos && p < num_loops; ++p) {
+            if (dense_only(slotIndex(loops[p])))
+                m *= slotExtent(s, shape, loops[p]);
+        }
+        return m;
+    };
+
+    std::vector<double> level_visits(num_levels, 1.0);
+    u32 deepest_sparse_pos = 0;
+    for (u32 l = 0; l < num_levels; ++l) {
+        u32 p = loop_pos(level_slots[l]);
+        level_visits[l] = dense_mult_before(p);
+        deepest_sparse_pos = std::max(deepest_sparse_pos, p);
+    }
+    double leaf_visits_mult = dense_mult_before(deepest_sparse_pos);
+
+    double dense_work_total = 1.0;
+    for (u32 idx = 0; idx < info.numIndices; ++idx) {
+        if (dense_only(idx))
+            dense_work_total *= shape.indexExtent[idx];
+    }
+    double inner_dense_work = dense_work_total / leaf_visits_mult;
+
+    const double stored = static_cast<double>(fmt.storedValues());
+    const double leaf_visits = stored * leaf_visits_mult;
+
+    // ---- SIMD decision for the innermost loop (Figure 14 cliff) ----
+    bool simd = false;
+    double simd_factor = 1.0;
+    if (num_loops > 0) {
+        u32 inner = loops[num_loops - 1];
+        u32 inner_idx = slotIndex(inner);
+        u32 trip = slotExtent(s, shape, inner);
+        bool contiguous = false;
+        if (dense_only(inner_idx)) {
+            // Vector code needs a dense operand contiguous along this index.
+            for (std::size_t op = 0; op < info.denseOperands.size(); ++op) {
+                const auto& d = info.denseOperands[op];
+                if (d.indices.size() < 2)
+                    continue;
+                bool row_major = d.layoutFixed ? d.rowMajorDefault
+                                               : s.denseRowMajor[op];
+                u32 contig = row_major ? d.indices[1] : d.indices[0];
+                if (contig == inner_idx)
+                    contiguous = true;
+            }
+        } else {
+            // Inner dense block of A (U level): contiguous over the padded
+            // values only when it is the last storage level, e.g. the UCU
+            // SpMV of Figure 14.
+            contiguous = num_levels > 0 &&
+                         level_slots[num_levels - 1] == inner &&
+                         fmt.levels()[num_levels - 1].fmt ==
+                             LevelFormat::Uncompressed;
+        }
+        if (contiguous && trip >= mc.simdTripThreshold) {
+            simd = true;
+            simd_factor = mc.simdWidth * 0.75;
+        }
+    }
+    out.simdUsed = simd;
+
+    // ---- compute cycles ----
+    double traversal_cycles = 0.0;
+    for (u32 l = 0; l < num_levels; ++l) {
+        const BuiltLevel& bl = fmt.levels()[l];
+        double per = bl.fmt == LevelFormat::Uncompressed
+            ? mc.uncompressedLevelCycles
+            : mc.compressedLevelCycles;
+        traversal_cycles += level_visits[l] *
+                            static_cast<double>(bl.numPositions) * per;
+    }
+
+    double fma_per_dense_iter = info.flopsPerNnz / 2.0;
+    double loads_per_dense_iter = info.flopsPerNnz; // one load per flop operand
+    double leaf_cycles =
+        leaf_visits * inner_dense_work *
+        (fma_per_dense_iter * mc.fmaCycles / simd_factor +
+         loads_per_dense_iter * mc.scalarLoadCycles / (simd ? mc.simdWidth : 1.0));
+
+    // ---- discordance: searches over compressed levels (Section 3.1) ----
+    double discord_cycles = 0.0;
+    for (u32 l1 = 0; l1 < num_levels; ++l1) {
+        for (u32 l2 = l1 + 1; l2 < num_levels; ++l2) {
+            if (loop_pos(level_slots[l2]) < loop_pos(level_slots[l1])) {
+                const BuiltLevel& deeper = fmt.levels()[l2];
+                double parent = std::max<double>(
+                    1.0, static_cast<double>(
+                             l2 ? fmt.levels()[l2 - 1].numPositions : 1));
+                double fanout = std::max(
+                    2.0, static_cast<double>(deeper.numPositions) / parent);
+                double probes = deeper.fmt == LevelFormat::Compressed
+                    ? std::log2(fanout) * mc.searchCyclesPerProbe
+                    : mc.uncompressedLevelCycles;
+                discord_cycles += leaf_visits * probes;
+            }
+        }
+    }
+
+    // ---- memory traffic ----
+    double llc = mc.llcBytes;
+    double v_max = leaf_visits_mult;
+    for (double v : level_visits)
+        v_max = std::max(v_max, v);
+    double a_bytes = static_cast<double>(fmt.bytes());
+    double a_miss = a_bytes;
+    if (v_max > 1.0 && a_bytes > llc)
+        a_miss += (v_max - 1.0) * a_bytes;
+
+    double dense_miss = 0.0;
+    for (std::size_t op = 0; op < info.denseOperands.size(); ++op) {
+        const auto& d = info.denseOperands[op];
+        bool row_major = d.layoutFixed ? d.rowMajorDefault
+                                       : s.denseRowMajor[op];
+        // Identify the non-contiguous ("row") index and the contiguous one.
+        u32 r_idx, contig_idx;
+        bool has_contig;
+        if (d.indices.size() == 1) {
+            r_idx = d.indices[0];
+            contig_idx = 0;
+            has_contig = false;
+        } else {
+            r_idx = row_major ? d.indices[0] : d.indices[1];
+            contig_idx = row_major ? d.indices[1] : d.indices[0];
+            has_contig = true;
+        }
+
+        if (dense_only(r_idx)) {
+            // Pathological layout: the strided index is a dense loop, so
+            // every access strides through memory. Charge a line per access
+            // unless the whole operand is LLC-resident.
+            double op_bytes = 4.0;
+            for (u32 ix : d.indices)
+                op_bytes *= shape.indexExtent[ix];
+            double accesses = leaf_visits * inner_dense_work;
+            dense_miss += op_bytes <= llc
+                ? op_bytes * std::max(1.0, v_max)
+                : accesses * kLineBytes * 0.5;
+            continue;
+        }
+
+        // Bytes fetched per distinct row visit: the contiguous-index slots
+        // executing inside the row's deepest loop.
+        u32 boundary = loop_pos(
+            loop_pos(outerSlot(r_idx)) > loop_pos(innerSlot(r_idx))
+                ? outerSlot(r_idx) : innerSlot(r_idx));
+        double fetch_bytes = 4.0;
+        double dense_outer_mult = 1.0;
+        if (has_contig && dense_only(contig_idx)) {
+            double inner_extent = 1.0;
+            for (u32 p = boundary + 1; p < num_loops; ++p) {
+                if (slotIndex(loops[p]) == contig_idx)
+                    inner_extent *= slotExtent(s, shape, loops[p]);
+            }
+            fetch_bytes = 4.0 * std::max(1.0, inner_extent);
+            dense_outer_mult = shape.indexExtent[contig_idx] /
+                               std::max(1.0, inner_extent);
+        } else if (has_contig) {
+            // Contiguous along another sparse index (e.g. SDDMM's
+            // column-major C is contiguous along dense k): fetch whole rows.
+            fetch_bytes = 4.0 * shape.indexExtent[contig_idx];
+        }
+        // Dense-only loops of indices not appearing in this operand re-run
+        // the whole access stream when placed outside the row boundary.
+        for (u32 p = 0; p < boundary && p < num_loops; ++p) {
+            u32 ix = slotIndex(loops[p]);
+            bool in_op = false;
+            for (u32 di : d.indices)
+                in_op |= (di == ix);
+            if (dense_only(ix) && !in_op)
+                dense_outer_mult *= slotExtent(s, shape, loops[p]);
+        }
+
+        // Key slots: sparse slots running outside the row boundary,
+        // outermost first. Slots of the row index itself are redundant for
+        // counting (the row determines them) but essential as cell
+        // boundaries in the working-set analysis — e.g. UUC's outer k1
+        // chunk is what makes per-chunk row reuse fit the LLC.
+        std::vector<u32> key_slots;
+        for (u32 p = 0; p < boundary && p < num_loops; ++p) {
+            u32 slot = loops[p];
+            if (!dense_only(slotIndex(slot)))
+                key_slots.push_back(slot);
+        }
+
+        // Line-granular row id for thin rows.
+        u32 line_div = 1;
+        if (fetch_bytes < kLineBytes)
+            line_div = static_cast<u32>(kLineBytes / fetch_bytes);
+        int rd = info.sparseDim[r_idx];
+        panicIf(rd < 0, "sparse row index without sparse dim");
+
+        static thread_local LinearCounter counter;
+        auto count_distinct = [&](u32 prefix_len, bool with_row) {
+            counter.reset();
+            for (u64 n = 0; n < nnz; ++n) {
+                u64 h = 0x12345;
+                for (u32 kq = 0; kq < prefix_len; ++kq) {
+                    h = hashCombine(h, slotCoordOf(s, info, key_slots[kq],
+                                                   coords[n], shape));
+                }
+                if (with_row)
+                    h = hashCombine(h, coords[n][rd] / line_div);
+                counter.insert(h);
+            }
+            return counter.estimate();
+        };
+
+        // Hierarchical working-set analysis: starting from the finest
+        // partition, merge away inner key slots whenever the coarser cell's
+        // row working set still fits in the LLC (split-induced tiling).
+        u32 p_len = static_cast<u32>(key_slots.size());
+        double distinct_rows = count_distinct(p_len, true);
+        while (p_len > 0) {
+            double coarser_rows = count_distinct(p_len - 1, true);
+            double coarser_cells =
+                p_len - 1 == 0 ? 1.0 : count_distinct(p_len - 1, false);
+            double ws = coarser_rows / std::max(1.0, coarser_cells) *
+                        std::max(fetch_bytes, kLineBytes);
+            if (ws <= llc) {
+                distinct_rows = coarser_rows;
+                --p_len;
+            } else {
+                break;
+            }
+        }
+        // Compulsory footprint of the whole operand vs the per-outer-pass
+        // working set: a cache-resident operand costs its footprint once;
+        // an operand whose per-pass slice fits (e.g. j-blocked SpMM) costs
+        // one slice per outer pass; otherwise the distinct-row estimate
+        // with outer repetition applies.
+        double distinct_rows_all = count_distinct(0, true);
+        double row_full_bytes = std::max(
+            has_contig ? 4.0 * shape.indexExtent[contig_idx] : 4.0,
+            kLineBytes);
+        double full_op_bytes = distinct_rows_all * row_full_bytes;
+        double per_pass_bytes =
+            distinct_rows_all * std::max(fetch_bytes, kLineBytes);
+        double op_miss;
+        if (full_op_bytes <= llc) {
+            op_miss = full_op_bytes;
+        } else if (per_pass_bytes <= llc) {
+            op_miss = std::max(full_op_bytes,
+                               per_pass_bytes * dense_outer_mult);
+        } else {
+            op_miss = distinct_rows * std::max(fetch_bytes, kLineBytes) *
+                      dense_outer_mult;
+        }
+        if (d.isOutput)
+            op_miss *= 2.0; // write-allocate + writeback
+        dense_miss += op_miss;
+    }
+
+    double miss_bytes = a_miss + dense_miss;
+    out.missBytes = miss_bytes;
+    double miss_cycles = miss_bytes / kLineBytes * mc.missLatencyCycles *
+                         mc.missOverlapFactor;
+
+    double total_cycles =
+        traversal_cycles + leaf_cycles + discord_cycles + miss_cycles;
+
+    // ---- parallel decomposition ----
+    u32 p_slot = s.parallelSlot;
+    bool p_degenerate = slotDegenerate(s, p_slot);
+    u32 p_pos = p_degenerate ? num_loops : loop_pos(p_slot);
+    u32 p_extent = p_degenerate ? 1 : slotExtent(s, shape, p_slot);
+
+    // Work outside the parallel loop runs serially.
+    double outside_cycles = 0.0;
+    for (u32 l = 0; l < num_levels; ++l) {
+        if (loop_pos(level_slots[l]) < p_pos) {
+            const BuiltLevel& bl = fmt.levels()[l];
+            double per = bl.fmt == LevelFormat::Uncompressed
+                ? mc.uncompressedLevelCycles
+                : mc.compressedLevelCycles;
+            outside_cycles += level_visits[l] *
+                              static_cast<double>(bl.numPositions) * per;
+        }
+    }
+    if (p_degenerate)
+        outside_cycles = total_cycles;
+    double inside_cycles = std::max(0.0, total_cycles - outside_cycles);
+
+    // Parallel region relaunches for every outer-loop iteration.
+    double launches = dense_mult_before(p_pos);
+    double deepest_outside_positions = 1.0;
+    for (u32 l = 0; l < num_levels; ++l) {
+        if (loop_pos(level_slots[l]) < p_pos) {
+            deepest_outside_positions = std::max(
+                deepest_outside_positions,
+                static_cast<double>(fmt.levels()[l].numPositions));
+        }
+    }
+    launches *= deepest_outside_positions;
+    double launch_cycles = launches * mc.parallelLaunchCycles;
+
+    // Per-parallel-iteration work histogram from the actual pattern.
+    double makespan = inside_cycles;
+    double t_eff = mc.effectiveThreads(s.numThreads);
+    out.imbalance = 1.0;
+    if (!p_degenerate && p_extent > 1 && inside_cycles > 0.0) {
+        std::vector<double> hist(p_extent, 0.0);
+        u32 p_idx = slotIndex(p_slot);
+        if (dense_only(p_idx)) {
+            for (auto& h : hist)
+                h = 1.0 / p_extent;
+        } else {
+            for (u64 n = 0; n < nnz; ++n)
+                hist[slotCoordOf(s, info, p_slot, coords[n], shape)] += 1.0;
+            double total_w = static_cast<double>(nnz);
+            for (auto& h : hist)
+                h /= total_w;
+        }
+        u32 chunk = std::max<u32>(1, s.ompChunk);
+        u32 num_chunks = ceilDiv(p_extent, chunk);
+        u32 t = std::max<u32>(1, static_cast<u32>(std::lround(t_eff)));
+        std::priority_queue<double, std::vector<double>,
+                            std::greater<double>> threads;
+        for (u32 q = 0; q < t; ++q)
+            threads.push(0.0);
+        for (u32 c = 0; c < num_chunks; ++c) {
+            double w = 0.0;
+            for (u32 e = c * chunk; e < std::min(p_extent, (c + 1) * chunk); ++e)
+                w += hist[e];
+            double start = threads.top();
+            threads.pop();
+            threads.push(start + w * inside_cycles + mc.chunkDispatchCycles);
+        }
+        while (threads.size() > 1)
+            threads.pop();
+        makespan = threads.top();
+        double ideal = inside_cycles / t_eff;
+        out.imbalance = ideal > 0.0 ? makespan / ideal : 1.0;
+    } else if (!p_degenerate) {
+        makespan = inside_cycles; // extent-1 parallel loop: all serial
+    }
+
+    double critical_cycles = outside_cycles + launch_cycles + makespan;
+    double compute_seconds = critical_cycles / (mc.freqGHz * 1e9);
+    double memory_seconds = miss_bytes / (mc.memBwGBs * 1e9);
+
+    out.computeSeconds = compute_seconds;
+    out.memorySeconds = memory_seconds;
+    out.serialSeconds = (outside_cycles + launch_cycles) / (mc.freqGHz * 1e9);
+    out.seconds = std::max(compute_seconds, memory_seconds) +
+                  mc.kernelLaunchSeconds;
+    return out;
+}
+
+} // namespace waco

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The runtime oracle: a deterministic analytical performance model that
+ * plays the role of the paper's hardware measurements.
+ *
+ * Given a sparse input, a ProblemShape and a SuperSchedule, the oracle
+ * materializes the schedule's format and estimates the execution time of the
+ * TACO-style loop nest on a MachineConfig. The model captures the couplings
+ * the paper identifies as performance-critical:
+ *
+ *  - traversal cost per level format (U loop overhead vs C pos/crd loads),
+ *  - dense-block padding compute and the compiler SIMD cliff (Figure 14),
+ *  - discordant loop orders needing searches over compressed levels,
+ *  - cache reuse of dense operands under split-induced tiling (hierarchical
+ *    working-set analysis over the actual nonzero pattern),
+ *  - OpenMP dynamic load balance simulated chunk-by-chunk from the actual
+ *    per-iteration work histogram (chunk size / thread count effects),
+ *  - a global memory-bandwidth bound.
+ *
+ * Everything is a deterministic function of (pattern, format, schedule,
+ * machine), so "measurements" are reproducible and the learned cost model
+ * has a well-defined target.
+ */
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ir/schedule.hpp"
+#include "perfmodel/machine.hpp"
+#include "tensor/coo.hpp"
+#include "tensor/format.hpp"
+
+namespace waco {
+
+/** One oracle measurement with a diagnostic breakdown. */
+struct Measurement
+{
+    /** Estimated kernel runtime in seconds; +inf when invalid. */
+    double seconds = 0.0;
+    /** False when the format exceeded the storage budget (the analogue of
+     *  the paper dropping schedules that run for over a minute). */
+    bool valid = true;
+    std::string invalidReason;
+
+    // --- diagnostics (used by Table 6 attribution and tests) ---
+    double computeSeconds = 0.0;   ///< Critical-path compute component.
+    double memorySeconds = 0.0;    ///< Bandwidth-bound component.
+    double serialSeconds = 0.0;    ///< Work outside the parallel loop.
+    double imbalance = 1.0;        ///< Makespan / ideal parallel time.
+    double missBytes = 0.0;        ///< Estimated DRAM traffic.
+    bool simdUsed = false;         ///< Innermost loop vectorized.
+    u64 storedValues = 0;          ///< Values incl. dense-block padding.
+    u64 formatBytes = 0;           ///< Storage footprint of the format.
+};
+
+/** Deterministic stand-in for running the generated kernel on hardware. */
+class RuntimeOracle
+{
+  public:
+    explicit RuntimeOracle(MachineConfig machine,
+                           u64 max_format_bytes = 512ull * 1024 * 1024)
+        : machine_(std::move(machine)), maxFormatBytes_(max_format_bytes)
+    {}
+
+    const MachineConfig& machine() const { return machine_; }
+
+    /** Measure a 2D kernel (SpMV / SpMM / SDDMM). */
+    Measurement measure(const SparseMatrix& m, const ProblemShape& shape,
+                        const SuperSchedule& s) const;
+
+    /** Measure MTTKRP on a 3D tensor. */
+    Measurement measure(const Sparse3Tensor& t, const ProblemShape& shape,
+                        const SuperSchedule& s) const;
+
+    /**
+     * Estimated cost of converting canonical COO into the schedule's format
+     * (the T_formatconvert term of Section 5.6).
+     */
+    double conversionSeconds(u64 nnz, u64 stored_values) const;
+
+    /** Total measurement count so far (tuning-cost accounting, Fig. 17). */
+    u64 measurementCount() const { return measurements_; }
+
+  private:
+    Measurement measureImpl(const std::vector<std::array<u32, 3>>& coords,
+                            u64 nnz, const ProblemShape& shape,
+                            const SuperSchedule& s,
+                            const HierSparseTensor& fmt) const;
+
+    MachineConfig machine_;
+    u64 maxFormatBytes_;
+    mutable u64 measurements_ = 0;
+};
+
+} // namespace waco

@@ -1,0 +1,40 @@
+#include "perfmodel/machine.hpp"
+
+namespace waco {
+
+MachineConfig
+MachineConfig::intel24()
+{
+    MachineConfig m;
+    m.name = "intel24";
+    m.cores = 24;
+    m.maxThreads = 48;
+    m.smtYield = 1.25;
+    m.freqGHz = 2.5;
+    m.simdWidth = 8;
+    m.simdTripThreshold = 16; // icc's heuristic (Figure 14)
+    // 30 MB per socket; with interleaved NUMA the effective capacity a
+    // streaming kernel can count on is one socket's LLC.
+    m.llcBytes = 30.0 * 1024 * 1024;
+    m.memBwGBs = 68.0;
+    return m;
+}
+
+MachineConfig
+MachineConfig::amd8()
+{
+    MachineConfig m;
+    m.name = "amd8";
+    m.cores = 8;
+    m.maxThreads = 16;
+    m.smtYield = 1.2;
+    m.freqGHz = 3.0;
+    m.simdWidth = 8;
+    m.simdTripThreshold = 8; // gcc vectorizes shorter known trip counts
+    m.llcBytes = 16.0 * 1024 * 1024;
+    m.memBwGBs = 38.0;
+    m.chunkDispatchCycles = 500.0;
+    return m;
+}
+
+} // namespace waco

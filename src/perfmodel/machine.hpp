@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Parametric description of the simulated target machine.
+ *
+ * The paper measures on real hardware (a dual-socket 24-core Xeon E5-2680v3
+ * with icc, and for Table 7 an 8-core AMD EPYC 7R32 with gcc). This repo has
+ * neither, so the runtime oracle evaluates schedules against this analytical
+ * machine model instead (see DESIGN.md, substitution table). Two presets
+ * reproduce the paper's two platforms, including the icc-vs-gcc
+ * vectorization-threshold difference that Figure 14 hinges on.
+ */
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace waco {
+
+/** Analytical machine parameters used by the runtime oracle. */
+struct MachineConfig
+{
+    std::string name;
+
+    u32 cores = 24;            ///< Physical cores.
+    u32 maxThreads = 48;       ///< With SMT.
+    double smtYield = 1.25;    ///< Throughput factor when using all SMT threads.
+    double freqGHz = 2.5;      ///< Clock frequency.
+
+    u32 simdWidth = 8;         ///< Floats per vector (AVX2).
+    /**
+     * Minimum known trip count at which the compiler emits vector code for
+     * an innermost dense loop. Figure 14 shows icc switching to
+     * vfmadd213ps at b = 16; gcc vectorizes shorter loops.
+     */
+    u32 simdTripThreshold = 16;
+
+    double llcBytes = 60.0 * 1024 * 1024;  ///< Shared last-level cache.
+    double memBwGBs = 68.0;                ///< DRAM bandwidth.
+    double missLatencyCycles = 90.0;       ///< Partially-overlapped DRAM miss cost.
+    double missOverlapFactor = 0.25;       ///< Fraction of miss latency exposed.
+
+    double uncompressedLevelCycles = 1.0;  ///< Loop overhead per U position.
+    double compressedLevelCycles = 3.0;    ///< pos/crd loads + branch per C position.
+    double searchCyclesPerProbe = 4.0;     ///< Per binary-search probe (discordant).
+    double fmaCycles = 1.0;                ///< Scalar fused multiply-add.
+    double scalarLoadCycles = 0.5;         ///< Amortized L1 load per operand access.
+
+    double chunkDispatchCycles = 600.0;    ///< Dynamic-scheduling cost per chunk.
+    double parallelLaunchCycles = 12000.0; ///< Cost of opening a parallel region.
+    double kernelLaunchSeconds = 3e-6;     ///< Fixed per-invocation overhead.
+
+    /** Usable compute threads for a requested thread count. */
+    double
+    effectiveThreads(u32 requested) const
+    {
+        if (requested <= cores)
+            return static_cast<double>(requested);
+        double over = static_cast<double>(std::min(requested, maxThreads)) /
+                      static_cast<double>(cores);
+        // SMT gives smtYield at full oversubscription, linear in between.
+        return cores * (1.0 + (smtYield - 1.0) * (over - 1.0));
+    }
+
+    /** Dual-socket Xeon E5-2680 v3 + icc, the paper's main platform. */
+    static MachineConfig intel24();
+
+    /** 8-core AMD EPYC 7R32 + gcc, the paper's Table 7 platform. */
+    static MachineConfig amd8();
+};
+
+} // namespace waco

@@ -1,0 +1,22 @@
+#include "tensor/csr.hpp"
+
+namespace waco {
+
+Csr::Csr(const SparseMatrix& m)
+    : rows_(m.rows()), cols_(m.cols())
+{
+    rowPtr_.assign(rows_ + 1, 0);
+    colIdx_.resize(m.nnz());
+    vals_.resize(m.nnz());
+    for (u64 n = 0; n < m.nnz(); ++n)
+        ++rowPtr_[m.rowIndices()[n] + 1];
+    for (u32 r = 0; r < rows_; ++r)
+        rowPtr_[r + 1] += rowPtr_[r];
+    // COO is already sorted (row, col), so a straight copy preserves order.
+    for (u64 n = 0; n < m.nnz(); ++n) {
+        colIdx_[n] = m.colIndices()[n];
+        vals_[n] = m.values()[n];
+    }
+}
+
+} // namespace waco

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain CSR view used by the fixed-format baselines (MKL-like
+ * inspector-executor, FixedCSR) and by the real-execution engine's fast
+ * paths. Equivalent to the UC(d0,d1) hierarchical format but with the
+ * conventional flat arrays.
+ */
+#pragma once
+
+#include <vector>
+
+#include "tensor/coo.hpp"
+#include "util/common.hpp"
+
+namespace waco {
+
+/** Compressed sparse row storage. */
+class Csr
+{
+  public:
+    Csr() = default;
+
+    /** Convert from canonical COO. */
+    explicit Csr(const SparseMatrix& m);
+
+    u32 rows() const { return rows_; }
+    u32 cols() const { return cols_; }
+    u64 nnz() const { return colIdx_.size(); }
+
+    const std::vector<u64>& rowPtr() const { return rowPtr_; }
+    const std::vector<u32>& colIdx() const { return colIdx_; }
+    const std::vector<float>& values() const { return vals_; }
+
+    /** Storage footprint in bytes (int32 indices + float values,
+     *  matching what MKL/TACO would allocate). */
+    u64 bytes() const { return 4 * (rowPtr_.size() + colIdx_.size() + vals_.size()); }
+
+  private:
+    u32 rows_ = 0;
+    u32 cols_ = 0;
+    std::vector<u64> rowPtr_;
+    std::vector<u32> colIdx_;
+    std::vector<float> vals_;
+};
+
+} // namespace waco

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dense vector / matrix operands for the four kernels. Row- or column-major
+ * layout is explicit because the paper's SuperSchedule includes the level
+ * order of dense operands (e.g. SDDMM fixes B row-major and C column-major).
+ */
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace waco {
+
+/** Storage order of a dense matrix. */
+enum class Layout { RowMajor, ColMajor };
+
+/** Dense single-precision vector. */
+class DenseVector
+{
+  public:
+    DenseVector() = default;
+    explicit DenseVector(u64 n, float fill = 0.0f) : data_(n, fill) {}
+
+    u64 size() const { return data_.size(); }
+    float& operator[](u64 i) { return data_[i]; }
+    float operator[](u64 i) const { return data_[i]; }
+    const std::vector<float>& data() const { return data_; }
+    std::vector<float>& data() { return data_; }
+
+    /** Fill with uniform random values in [-1, 1). */
+    void
+    randomize(Rng& rng)
+    {
+        for (auto& x : data_)
+            x = static_cast<float>(rng.uniformReal(-1.0, 1.0));
+    }
+
+  private:
+    std::vector<float> data_;
+};
+
+/** Dense single-precision matrix with explicit layout. */
+class DenseMatrix
+{
+  public:
+    DenseMatrix() = default;
+    DenseMatrix(u64 rows, u64 cols, Layout layout = Layout::RowMajor,
+                float fill = 0.0f)
+        : rows_(rows), cols_(cols), layout_(layout),
+          data_(rows * cols, fill)
+    {}
+
+    u64 rows() const { return rows_; }
+    u64 cols() const { return cols_; }
+    Layout layout() const { return layout_; }
+
+    /** Linear offset of element (r, c) under the current layout. */
+    u64
+    offset(u64 r, u64 c) const
+    {
+        return layout_ == Layout::RowMajor ? r * cols_ + c : c * rows_ + r;
+    }
+
+    float& at(u64 r, u64 c) { return data_[offset(r, c)]; }
+    float at(u64 r, u64 c) const { return data_[offset(r, c)]; }
+
+    const std::vector<float>& data() const { return data_; }
+    std::vector<float>& data() { return data_; }
+
+    /** Fill with uniform random values in [-1, 1). */
+    void
+    randomize(Rng& rng)
+    {
+        for (auto& x : data_)
+            x = static_cast<float>(rng.uniformReal(-1.0, 1.0));
+    }
+
+    /** Set every element to @p v. */
+    void
+    fill(float v)
+    {
+        std::fill(data_.begin(), data_.end(), v);
+    }
+
+  private:
+    u64 rows_ = 0;
+    u64 cols_ = 0;
+    Layout layout_ = Layout::RowMajor;
+    std::vector<float> data_;
+};
+
+} // namespace waco

@@ -1,0 +1,95 @@
+#include "tensor/mmio.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace waco {
+
+SparseMatrix
+readMatrixMarket(std::istream& in, const std::string& name)
+{
+    std::string line;
+    fatalIf(!std::getline(in, line), "empty MatrixMarket stream");
+    std::istringstream header(line);
+    std::string banner, object, format, field, symmetry;
+    header >> banner >> object >> format >> field >> symmetry;
+    fatalIf(banner != "%%MatrixMarket", "missing MatrixMarket banner");
+    fatalIf(object != "matrix" || format != "coordinate",
+            "only 'matrix coordinate' MatrixMarket files are supported");
+    bool pattern = field == "pattern";
+    bool symmetric = symmetry == "symmetric";
+    fatalIf(field != "real" && field != "integer" && !pattern,
+            "unsupported MatrixMarket field: " + field);
+    fatalIf(symmetry != "general" && !symmetric,
+            "unsupported MatrixMarket symmetry: " + symmetry);
+
+    // Skip comments.
+    do {
+        fatalIf(!std::getline(in, line), "truncated MatrixMarket header");
+    } while (!line.empty() && line[0] == '%');
+
+    std::istringstream sizes(line);
+    u64 rows = 0, cols = 0, entries = 0;
+    sizes >> rows >> cols >> entries;
+    fatalIf(rows == 0 || cols == 0, "bad MatrixMarket size line");
+
+    std::vector<Triplet> t;
+    t.reserve(symmetric ? entries * 2 : entries);
+    for (u64 n = 0; n < entries; ++n) {
+        fatalIf(!std::getline(in, line), "truncated MatrixMarket entries");
+        std::istringstream es(line);
+        u64 r = 0, c = 0;
+        double v = 1.0;
+        es >> r >> c;
+        if (!pattern)
+            es >> v;
+        fatalIf(r == 0 || c == 0 || r > rows || c > cols,
+                "MatrixMarket entry out of bounds");
+        t.push_back({static_cast<u32>(r - 1), static_cast<u32>(c - 1),
+                     static_cast<float>(v)});
+        if (symmetric && r != c) {
+            t.push_back({static_cast<u32>(c - 1), static_cast<u32>(r - 1),
+                         static_cast<float>(v)});
+        }
+    }
+    return SparseMatrix(static_cast<u32>(rows), static_cast<u32>(cols),
+                        std::move(t), name);
+}
+
+SparseMatrix
+readMatrixMarketFile(const std::string& path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open MatrixMarket file: " + path);
+    std::string name = path;
+    auto slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    auto dot = name.find_last_of('.');
+    if (dot != std::string::npos)
+        name = name.substr(0, dot);
+    return readMatrixMarket(in, name);
+}
+
+void
+writeMatrixMarket(const SparseMatrix& m, std::ostream& out)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << m.rows() << " " << m.cols() << " " << m.nnz() << "\n";
+    for (u64 n = 0; n < m.nnz(); ++n) {
+        out << (m.rowIndices()[n] + 1) << " " << (m.colIndices()[n] + 1) << " "
+            << m.values()[n] << "\n";
+    }
+}
+
+void
+writeMatrixMarketFile(const SparseMatrix& m, const std::string& path)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open file for writing: " + path);
+    writeMatrixMarket(m, out);
+}
+
+} // namespace waco

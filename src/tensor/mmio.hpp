@@ -1,0 +1,28 @@
+/**
+ * @file
+ * MatrixMarket coordinate-format I/O so users can run WACO on their own
+ * SuiteSparse downloads. Supports the "matrix coordinate
+ * real|integer|pattern general|symmetric" subset that covers SuiteSparse.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/coo.hpp"
+
+namespace waco {
+
+/** Parse a MatrixMarket stream. @throws FatalError on malformed input. */
+SparseMatrix readMatrixMarket(std::istream& in, const std::string& name = "");
+
+/** Parse a MatrixMarket file. */
+SparseMatrix readMatrixMarketFile(const std::string& path);
+
+/** Write a matrix in "matrix coordinate real general" form. */
+void writeMatrixMarket(const SparseMatrix& m, std::ostream& out);
+
+/** Write to a file. */
+void writeMatrixMarketFile(const SparseMatrix& m, const std::string& path);
+
+} // namespace waco

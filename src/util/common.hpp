@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared primitive aliases and error-reporting helpers used across WACO.
+ *
+ * Follows the gem5 convention of separating unrecoverable internal errors
+ * (panic) from user/configuration errors (fatal).
+ */
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace waco {
+
+using i32 = std::int32_t;
+using u32 = std::uint32_t;
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+/** Error thrown for invalid user input or configuration (recoverable by the caller). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/** Error thrown for internal invariant violations (a WACO bug, not a user error). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& msg) : std::logic_error(msg) {}
+};
+
+/** Raise a FatalError. Use for bad user input / impossible configurations. */
+[[noreturn]] inline void
+fatal(const std::string& msg)
+{
+    throw FatalError(msg);
+}
+
+/** Raise a PanicError. Use when an internal invariant is broken. */
+[[noreturn]] inline void
+panic(const std::string& msg)
+{
+    throw PanicError("internal error: " + msg);
+}
+
+/** Check a condition that indicates user error when false. */
+inline void
+fatalIf(bool cond, const std::string& msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+/** Check an internal invariant. */
+inline void
+panicIf(bool cond, const std::string& msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+/** Integer ceiling division for non-negative values. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/** True when @p x is a power of two (and non-zero). */
+constexpr bool
+isPow2(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2 for positive values. */
+constexpr u32
+log2Floor(u64 x)
+{
+    u32 r = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace waco

@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace waco {
+
+namespace {
+
+LogLevel g_level = LogLevel::Info;
+std::mutex g_mutex;
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+logMessage(LogLevel level, const std::string& msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_level) || g_level == LogLevel::Off)
+        return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[waco:%s] %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace waco

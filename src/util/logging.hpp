@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal leveled logging to stderr. Benches print their tables to stdout;
+ * logging is for progress/diagnostics only and can be silenced globally.
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace waco {
+
+/** Severity levels in increasing order of importance. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
+
+/** Global log-level accessor. */
+LogLevel logLevel();
+
+/** Set the global log level (e.g. LogLevel::Off in unit tests). */
+void setLogLevel(LogLevel level);
+
+/** Emit one log line at @p level if enabled. */
+void logMessage(LogLevel level, const std::string& msg);
+
+/** Convenience wrappers. */
+inline void logDebug(const std::string& m) { logMessage(LogLevel::Debug, m); }
+inline void logInfo(const std::string& m) { logMessage(LogLevel::Info, m); }
+inline void logWarn(const std::string& m) { logMessage(LogLevel::Warn, m); }
+
+/** Stream-style builder: LogLine(LogLevel::Info) << "x=" << x; emits on destruction. */
+class LogLine
+{
+  public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+    ~LogLine() { logMessage(level_, os_.str()); }
+
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+
+    template <typename T>
+    LogLine&
+    operator<<(const T& v)
+    {
+        os_ << v;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream os_;
+};
+
+} // namespace waco

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic component in WACO (dataset generation, schedule sampling,
+ * NN initialization, search) draws from an explicitly seeded Rng so that
+ * experiments are reproducible run-to-run.
+ */
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace waco {
+
+/** Seedable pseudo-random generator with the sampling helpers WACO needs. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x5eed) : engine_(seed) {}
+
+    /** Reseed the generator. */
+    void seed(u64 s) { engine_.seed(s); }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    i64
+    uniformInt(i64 lo, i64 hi)
+    {
+        std::uniform_int_distribution<i64> d(lo, hi);
+        return d(engine_);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo = 0.0, double hi = 1.0)
+    {
+        std::uniform_real_distribution<double> d(lo, hi);
+        return d(engine_);
+    }
+
+    /** Standard normal sample scaled by @p stddev around @p mean. */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        std::normal_distribution<double> d(mean, stddev);
+        return d(engine_);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool bernoulli(double p) { return uniformReal() < p; }
+
+    /** Pick a uniformly random element index of a container of size n. */
+    std::size_t
+    index(std::size_t n)
+    {
+        panicIf(n == 0, "Rng::index on empty range");
+        return static_cast<std::size_t>(uniformInt(0, static_cast<i64>(n) - 1));
+    }
+
+    /** Pick a random element from a vector (by const reference). */
+    template <typename T>
+    const T&
+    pick(const std::vector<T>& v)
+    {
+        return v[index(v.size())];
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = index(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** A uniformly random permutation of {0, .., n-1}. */
+    std::vector<u32>
+    permutation(u32 n)
+    {
+        std::vector<u32> p(n);
+        for (u32 i = 0; i < n; ++i)
+            p[i] = i;
+        shuffle(p);
+        return p;
+    }
+
+    /** Sample an index according to non-negative weights (roulette wheel). */
+    std::size_t
+    weightedIndex(const std::vector<double>& weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        panicIf(total <= 0.0, "weightedIndex with non-positive total weight");
+        double r = uniformReal(0.0, total);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            acc += weights[i];
+            if (r < acc)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+    /** Underlying engine, for std distributions not wrapped here. */
+    std::mt19937_64& engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace waco

@@ -1,0 +1,80 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace waco {
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double>& xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return s / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs) {
+        fatalIf(x <= 0.0, "geomean requires positive inputs");
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    fatalIf(xs.empty(), "percentile of empty range");
+    fatalIf(p < 0.0 || p > 100.0, "percentile p out of [0,100]");
+    std::sort(xs.begin(), xs.end());
+    double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    auto hi = std::min(lo + 1, xs.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double
+median(std::vector<double> xs)
+{
+    return percentile(std::move(xs), 50.0);
+}
+
+double
+gini(std::vector<double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    double cum = 0.0, weighted = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        cum += xs[i];
+        weighted += xs[i] * static_cast<double>(i + 1);
+    }
+    if (cum <= 0.0)
+        return 0.0;
+    double n = static_cast<double>(xs.size());
+    return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+} // namespace waco

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harness (geomean speedups,
+ * distribution summaries of per-row nonzero counts, ...).
+ */
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace waco {
+
+/** Arithmetic mean; 0 for an empty range. */
+double mean(const std::vector<double>& xs);
+
+/** Population variance; 0 for fewer than two samples. */
+double variance(const std::vector<double>& xs);
+
+/** Geometric mean; requires strictly positive inputs. */
+double geomean(const std::vector<double>& xs);
+
+/** p-th percentile (0..100) using nearest-rank on a sorted copy. */
+double percentile(std::vector<double> xs, double p);
+
+/** Median (50th percentile). */
+double median(std::vector<double> xs);
+
+/** Gini coefficient of a non-negative distribution — used to quantify
+ *  row-load skew for load-balancing analysis. Returns 0 for uniform data. */
+double gini(std::vector<double> xs);
+
+/** Incremental summary of a stream of samples. */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (x < min_ || n_ == 1)
+            min_ = x;
+        if (x > max_ || n_ == 1)
+            max_ = x;
+    }
+
+    u64 count() const { return n_; }
+    double mean() const { return mean_; }
+    double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    u64 n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace waco

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Wall-clock timing helper for the real-execution engine and for reporting
+ * tuning overheads.
+ */
+#pragma once
+
+#include <chrono>
+
+namespace waco {
+
+/** Simple steady-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        auto d = Clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+    /** Milliseconds elapsed. */
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace waco

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the HNSW index (recall against brute force, generic-metric
+ * search) and the black-box tuner baselines.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "annsearch/hnsw.hpp"
+#include "annsearch/tuners.hpp"
+#include "util/rng.hpp"
+
+namespace waco {
+namespace {
+
+TEST(Hnsw, RecallAgainstBruteForce)
+{
+    Rng rng(1);
+    const u32 dim = 8, n = 400;
+    std::vector<std::vector<float>> points(n, std::vector<float>(dim));
+    Hnsw index(dim, 12, 80);
+    for (auto& p : points) {
+        for (auto& x : p)
+            x = static_cast<float>(rng.normal());
+        index.add(p.data());
+    }
+    u32 hits = 0, total = 0;
+    for (int q = 0; q < 20; ++q) {
+        std::vector<float> query(dim);
+        for (auto& x : query)
+            x = static_cast<float>(rng.normal());
+        // Brute-force top-5.
+        std::vector<std::pair<double, u32>> bf;
+        for (u32 i = 0; i < n; ++i) {
+            double d = 0.0;
+            for (u32 c = 0; c < dim; ++c) {
+                double diff = points[i][c] - query[c];
+                d += diff * diff;
+            }
+            bf.push_back({d, i});
+        }
+        std::sort(bf.begin(), bf.end());
+        auto got = index.searchKnn(query.data(), 5, 64);
+        for (const auto& hit : got) {
+            for (int t = 0; t < 5; ++t)
+                hits += (bf[t].second == hit.id);
+        }
+        total += 5;
+    }
+    EXPECT_GT(static_cast<double>(hits) / total, 0.8); // high recall
+}
+
+TEST(Hnsw, GenericSearchFindsLowCostNode)
+{
+    Rng rng(2);
+    const u32 dim = 4, n = 300;
+    Hnsw index(dim, 12, 64);
+    std::vector<std::vector<float>> points(n, std::vector<float>(dim));
+    for (auto& p : points) {
+        for (auto& x : p)
+            x = static_cast<float>(rng.normal());
+        index.add(p.data());
+    }
+    // Generic cost: distance to a hidden target vector. The graph walk
+    // should find a node close to the global minimum.
+    std::vector<float> target(dim, 0.7f);
+    auto score = [&](u32 id) {
+        double d = 0.0;
+        for (u32 c = 0; c < dim; ++c) {
+            double diff = points[id][c] - target[c];
+            d += diff * diff;
+        }
+        return d;
+    };
+    u64 evals = 0;
+    auto hits = index.searchGeneric(score, 3, 32, &evals);
+    ASSERT_FALSE(hits.empty());
+    double global_best = 1e30;
+    for (u32 i = 0; i < n; ++i)
+        global_best = std::min(global_best, score(i));
+    EXPECT_LT(hits.front().dist, global_best * 4.0 + 0.5);
+    EXPECT_GT(evals, 0u);
+    EXPECT_LT(evals, n); // visits a subset, not everything
+}
+
+/** Synthetic schedule cost with a known sweet spot, shared by tuner tests. */
+double
+syntheticCost(const SuperSchedule& s)
+{
+    double c = 1.0;
+    c += std::abs(static_cast<double>(log2Floor(s.splits[1])) - 4.0);
+    c += std::abs(static_cast<double>(log2Floor(s.ompChunk)) - 3.0);
+    c += s.numThreads == 48 ? 0.0 : 0.5;
+    c += concordance(s) < 1.0 ? 2.0 : 0.0;
+    return c;
+}
+
+class TunerBehaviour : public ::testing::TestWithParam<int> {};
+
+TEST_P(TunerBehaviour, BeatsFirstSampleAndTracksBestSoFar)
+{
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMM, 1024, 1024);
+    SuperScheduleSpace space(Algorithm::SpMM, shape);
+    std::unique_ptr<Tuner> tuner;
+    switch (GetParam()) {
+      case 0: tuner = std::make_unique<RandomSearch>(); break;
+      case 1: tuner = std::make_unique<TpeTuner>(); break;
+      default: tuner = std::make_unique<BanditEnsembleTuner>(); break;
+    }
+    auto result = tuner->search(space, syntheticCost, 300, 9);
+    EXPECT_EQ(result.trials, 300u);
+    ASSERT_EQ(result.bestSoFar.size(), 300u);
+    for (std::size_t i = 1; i < result.bestSoFar.size(); ++i)
+        EXPECT_LE(result.bestSoFar[i], result.bestSoFar[i - 1]);
+    EXPECT_LE(result.bestCost, result.bestSoFar.front());
+    EXPECT_LE(result.bestCost, 3.5); // near the sweet spot
+    EXPECT_GE(result.evalSeconds, 0.0);
+    EXPECT_LE(result.evalSeconds, result.totalSeconds + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTuners, TunerBehaviour, ::testing::Range(0, 3));
+
+TEST(Tuners, GuidedBeatsRandomOnStructuredCost)
+{
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMM, 4096, 4096);
+    SuperScheduleSpace space(Algorithm::SpMM, shape);
+    RandomSearch rnd;
+    TpeTuner tpe;
+    double rnd_avg = 0.0, tpe_avg = 0.0;
+    for (u64 seed = 0; seed < 3; ++seed) {
+        rnd_avg += rnd.search(space, syntheticCost, 250, seed).bestCost;
+        tpe_avg += tpe.search(space, syntheticCost, 250, seed).bestCost;
+    }
+    EXPECT_LE(tpe_avg, rnd_avg + 0.75); // guided search is competitive
+}
+
+} // namespace
+} // namespace waco

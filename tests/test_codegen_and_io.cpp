@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the C emitter and the dataset (de)serialization.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/emit.hpp"
+#include "core/dataset_io.hpp"
+#include "data/generators.hpp"
+#include "perfmodel/cost_model.hpp"
+
+namespace waco {
+namespace {
+
+TEST(Codegen, DefaultSpmmLooksLikeCsr)
+{
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMM, 128, 96);
+    auto code = emitC(defaultSchedule(shape), shape);
+    // CSR: dense i loop, compressed k loop, dense j loop, OpenMP pragma.
+    EXPECT_NE(code.find("for (int i = 0; i < 128"), std::string::npos) << code;
+    EXPECT_NE(code.find("A1_pos"), std::string::npos) << code;
+    EXPECT_NE(code.find("A1_crd"), std::string::npos) << code;
+    EXPECT_NE(code.find("for (int j = 0; j < 256"), std::string::npos);
+    EXPECT_NE(code.find("schedule(dynamic, 32)"), std::string::npos);
+    EXPECT_NE(code.find("C[i * J + j] += A_vals[pA] * B[k * J + j];"),
+              std::string::npos);
+    // Balanced braces.
+    EXPECT_EQ(std::count(code.begin(), code.end(), '{'),
+              std::count(code.begin(), code.end(), '}'));
+}
+
+TEST(Codegen, SplitEmitsReconstruction)
+{
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMV, 64, 64);
+    auto s = defaultSchedule(shape);
+    s.splits[1] = 8;
+    s.sparseLevelOrder = {outerSlot(0), innerSlot(0), outerSlot(1),
+                          innerSlot(1)};
+    s.sparseLevelFormats = {LevelFormat::Uncompressed, LevelFormat::Compressed,
+                            LevelFormat::Compressed,
+                            LevelFormat::Uncompressed};
+    auto code = emitC(s, shape);
+    EXPECT_NE(code.find("int k = k1 * 8 + k0;"), std::string::npos) << code;
+    EXPECT_NE(code.find("k0"), std::string::npos);
+}
+
+TEST(Codegen, DiscordantOrderIsAnnotated)
+{
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMV, 64, 64);
+    auto s = defaultSchedule(shape);
+    // k before i while A is stored row-major.
+    s.loopOrder = {outerSlot(1), innerSlot(1), outerSlot(0), innerSlot(0)};
+    auto code = emitC(s, shape);
+    EXPECT_NE(code.find("discordant"), std::string::npos) << code;
+    EXPECT_NE(code.find("binary search"), std::string::npos) << code;
+}
+
+TEST(DatasetIo, ScheduleRoundTrip)
+{
+    Rng rng(1);
+    auto shape = ProblemShape::forMatrix(Algorithm::SDDMM, 512, 256);
+    SuperScheduleSpace space(Algorithm::SDDMM, shape);
+    for (int n = 0; n < 10; ++n) {
+        auto s = space.sample(rng);
+        std::stringstream buf;
+        writeSchedule(buf, s);
+        auto back = readSchedule(buf);
+        EXPECT_EQ(back.key(), s.key());
+    }
+}
+
+TEST(DatasetIo, DatasetRoundTrip)
+{
+    RuntimeOracle oracle(MachineConfig::intel24());
+    CorpusOptions copt;
+    copt.count = 3;
+    copt.minDim = 128;
+    copt.maxDim = 256;
+    copt.minNnz = 200;
+    copt.maxNnz = 600;
+    auto corpus = makeCorpus(copt, 71);
+    auto ds = buildDataset(Algorithm::SpMM, corpus, oracle, 6, 72);
+    std::string path = ::testing::TempDir() + "/waco_ds.bin";
+    saveDataset(ds, path);
+    auto back = loadDataset(path);
+    ASSERT_EQ(back.entries.size(), ds.entries.size());
+    EXPECT_EQ(back.alg, ds.alg);
+    EXPECT_EQ(back.trainIds, ds.trainIds);
+    EXPECT_EQ(back.valIds, ds.valIds);
+    for (std::size_t e = 0; e < ds.entries.size(); ++e) {
+        EXPECT_EQ(back.entries[e].matrix, ds.entries[e].matrix);
+        ASSERT_EQ(back.entries[e].samples.size(),
+                  ds.entries[e].samples.size());
+        for (std::size_t x = 0; x < ds.entries[e].samples.size(); ++x) {
+            EXPECT_EQ(back.entries[e].samples[x].schedule.key(),
+                      ds.entries[e].samples[x].schedule.key());
+            EXPECT_DOUBLE_EQ(back.entries[e].samples[x].runtime,
+                             ds.entries[e].samples[x].runtime);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(DatasetIo, DatasetRoundTrip3d)
+{
+    RuntimeOracle oracle(MachineConfig::intel24());
+    CorpusOptions copt;
+    copt.count = 2;
+    copt.minDim = 64;
+    copt.maxDim = 128;
+    copt.minNnz = 200;
+    copt.maxNnz = 500;
+    auto corpus = makeCorpus3d(copt, 73);
+    auto ds = buildDataset3d(Algorithm::MTTKRP, corpus, oracle, 5, 74);
+    std::string path = ::testing::TempDir() + "/waco_ds3.bin";
+    saveDataset(ds, path);
+    auto back = loadDataset(path);
+    ASSERT_EQ(back.entries.size(), ds.entries.size());
+    EXPECT_TRUE(back.entries[0].is3d);
+    EXPECT_EQ(back.entries[0].tensor.nnz(), ds.entries[0].tensor.nnz());
+    std::remove(path.c_str());
+}
+
+TEST(DatasetIo, RejectsGarbage)
+{
+    std::string path = ::testing::TempDir() + "/waco_bad.bin";
+    std::ofstream(path) << "this is not a dataset";
+    EXPECT_THROW(loadDataset(path), FatalError);
+    std::remove(path.c_str());
+    EXPECT_THROW(loadDataset("/nonexistent/x.bin"), FatalError);
+}
+
+} // namespace
+} // namespace waco

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the synthetic pattern generators: each family must actually
+ * exhibit the structural property that motivates it, because the whole
+ * evaluation leans on pattern-dependent behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "data/generators.hpp"
+#include "tensor/pattern_stats.hpp"
+
+namespace waco {
+namespace {
+
+TEST(Generators, UniformHasLowSkew)
+{
+    Rng rng(1);
+    auto m = genUniform(1000, 1000, 20000, rng);
+    auto s = computePatternStats(m);
+    EXPECT_LT(s.rowSkew, 0.35);
+    EXPECT_NEAR(s.density, 0.02, 0.005);
+}
+
+TEST(Generators, PowerLawIsSkewed)
+{
+    Rng rng(2);
+    auto uni = genUniform(2000, 2000, 30000, rng);
+    auto pl = genPowerLawRows(2000, 2000, 30000, 1.4, rng);
+    EXPECT_GT(computePatternStats(pl).rowSkew,
+              computePatternStats(uni).rowSkew + 0.2);
+}
+
+TEST(Generators, BandedHasSmallBandwidth)
+{
+    Rng rng(3);
+    auto banded = genBanded(2000, 2000, 8, 0.6, rng);
+    auto uni = genUniform(2000, 2000, banded.nnz(), rng);
+    EXPECT_LT(computePatternStats(banded).normalizedBandwidth, 0.01);
+    EXPECT_GT(computePatternStats(uni).normalizedBandwidth, 0.1);
+}
+
+TEST(Generators, BlockDiagonalIsPerfectlyBlocky)
+{
+    Rng rng(4);
+    auto m = genBlockDiagonal(512, 8, rng);
+    auto s = computePatternStats(m);
+    EXPECT_GT(s.fillForBlock(8), 0.95); // 8x8 blocks fully filled
+    EXPECT_GT(s.rowNeighborFrac, 0.8);
+}
+
+TEST(Generators, DenseBlocksFillMatchesRequest)
+{
+    Rng rng(5);
+    auto m = genDenseBlocks(1024, 1024, 16, 60, 0.9, rng);
+    auto s = computePatternStats(m);
+    EXPECT_GT(s.fillForBlock(16), 0.5);
+}
+
+TEST(Generators, KroneckerShapeAndSelfSimilarity)
+{
+    Rng rng(6);
+    auto m = genKronecker(10, rng);
+    EXPECT_EQ(m.rows(), 1024u);
+    auto s = computePatternStats(m);
+    EXPECT_GT(s.rowSkew, 0.3); // heavy-tailed degree distribution
+}
+
+TEST(Generators, CorpusIsDiverseAndDeterministic)
+{
+    CorpusOptions opt;
+    opt.count = 16;
+    opt.minDim = 256;
+    opt.maxDim = 1024;
+    opt.minNnz = 500;
+    opt.maxNnz = 5000;
+    auto a = makeCorpus(opt, 77);
+    auto b = makeCorpus(opt, 77);
+    ASSERT_EQ(a.size(), 16u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << "corpus must be seed-deterministic";
+        EXPECT_GT(a[i].nnz(), 0u);
+    }
+    // At least 3 distinct skew levels across families.
+    std::set<int> skew_buckets;
+    for (const auto& m : a) {
+        skew_buckets.insert(
+            static_cast<int>(computePatternStats(m).rowSkew * 5));
+    }
+    EXPECT_GE(skew_buckets.size(), 3u);
+}
+
+TEST(Generators, MotivationStandInsHaveDocumentedTraits)
+{
+    auto tsopf = tsopfLike();
+    auto sparsine = sparsineLike();
+    auto pli = pliLike();
+    auto st = computePatternStats(tsopf);
+    auto ss = computePatternStats(sparsine);
+    auto sp = computePatternStats(pli);
+    // TSOPF: dense blocks; sparsine: scattered (low block fill, low
+    // neighbor fraction); pli: in between.
+    EXPECT_GT(st.fillForBlock(16), ss.fillForBlock(16) * 4);
+    EXPECT_LT(ss.rowNeighborFrac, 0.02);
+    EXPECT_GT(sp.nnz, 100000u);
+    EXPECT_GT(sparsine.cols(), 60000u); // big enough to stress the LLC
+}
+
+TEST(Generators, Tensor3Valid)
+{
+    Rng rng(7);
+    auto t = genTensor3(100, 80, 60, 5000, rng);
+    EXPECT_EQ(t.dimI(), 100u);
+    EXPECT_GT(t.nnz(), 1000u);
+    for (u64 n = 0; n < t.nnz(); ++n) {
+        EXPECT_LT(t.iIndices()[n], 100u);
+        EXPECT_LT(t.kIndices()[n], 80u);
+        EXPECT_LT(t.lIndices()[n], 60u);
+    }
+}
+
+} // namespace
+} // namespace waco

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Correctness of the execution engine: format-generic kernels must agree
+ * with the dense references for every format a sampled SuperSchedule can
+ * describe, and the fast CSR/CSF kernels must agree under any parallel
+ * configuration.
+ */
+#include <gtest/gtest.h>
+
+#include "exec/kernels.hpp"
+#include "exec/reference.hpp"
+#include "ir/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace waco {
+namespace {
+
+SparseMatrix
+randomMatrix(u32 rows, u32 cols, u32 nnz, Rng& rng)
+{
+    std::vector<Triplet> t;
+    for (u32 n = 0; n < nnz; ++n) {
+        t.push_back({static_cast<u32>(rng.index(rows)),
+                     static_cast<u32>(rng.index(cols)),
+                     static_cast<float>(rng.uniformInt(1, 5))});
+    }
+    return SparseMatrix(rows, cols, t);
+}
+
+TEST(ExecReference, TinySpmvByHand)
+{
+    SparseMatrix a(2, 3, {{0, 0, 1.f}, {0, 2, 2.f}, {1, 1, 3.f}});
+    DenseVector b(3);
+    b[0] = 1.f; b[1] = 2.f; b[2] = 3.f;
+    auto c = spmvReference(a, b);
+    EXPECT_FLOAT_EQ(c[0], 7.f);
+    EXPECT_FLOAT_EQ(c[1], 6.f);
+}
+
+TEST(ExecHier, SpmvMatchesReferenceOnStandardFormats)
+{
+    Rng rng(11);
+    auto m = randomMatrix(50, 40, 150, rng);
+    DenseVector b(40);
+    b.randomize(rng);
+    auto want = spmvReference(m, b);
+    for (const auto& desc :
+         {FormatDescriptor::csr(50, 40), FormatDescriptor::csc(50, 40),
+          FormatDescriptor::bcsr(50, 40, 4, 4),
+          FormatDescriptor::ucu(50, 40, 8), FormatDescriptor::uuc(50, 40, 8),
+          FormatDescriptor::dense2d(50, 40),
+          FormatDescriptor::coo2d(50, 40)}) {
+        auto t = HierSparseTensor::build(desc, m);
+        auto got = spmvHier(t, b);
+        EXPECT_LT(maxAbsDiff(want, got), 1e-4) << desc.name();
+    }
+}
+
+TEST(ExecCsr, ParallelConfigsAgree)
+{
+    Rng rng(13);
+    auto m = randomMatrix(80, 70, 400, rng);
+    Csr csr(m);
+    DenseVector b(70);
+    b.randomize(rng);
+    auto serial = spmvCsr(csr, b);
+    for (u32 threads : {2u, 4u}) {
+        for (u32 chunk : {1u, 8u, 256u}) {
+            auto par = spmvCsr(csr, b, {threads, chunk});
+            EXPECT_LT(maxAbsDiff(serial, par), 1e-5);
+        }
+    }
+    DenseMatrix bm(70, 8);
+    bm.randomize(rng);
+    auto smm = spmmCsr(csr, bm);
+    auto pmm = spmmCsr(csr, bm, {4, 16});
+    EXPECT_LT(maxAbsDiff(smm, pmm), 1e-5);
+    EXPECT_LT(maxAbsDiff(smm, spmmReference(m, bm)), 1e-4);
+}
+
+TEST(ExecCsr, SddmmMatchesReference)
+{
+    Rng rng(17);
+    auto m = randomMatrix(30, 25, 90, rng);
+    DenseMatrix b(30, 12);
+    DenseMatrix c(12, 25, Layout::ColMajor);
+    b.randomize(rng);
+    c.randomize(rng);
+    auto want = sddmmReference(m, b, c);
+    auto got = sddmmCsr(m, b, c, {3, 4});
+    ASSERT_EQ(want.nnz(), got.nnz());
+    for (u64 n = 0; n < want.nnz(); ++n)
+        EXPECT_NEAR(want.values()[n], got.values()[n], 1e-3);
+}
+
+TEST(ExecCsf, MttkrpMatchesReference)
+{
+    Rng rng(19);
+    std::vector<Quad> q;
+    for (int n = 0; n < 200; ++n) {
+        q.push_back({static_cast<u32>(rng.index(20)),
+                     static_cast<u32>(rng.index(15)),
+                     static_cast<u32>(rng.index(10)),
+                     static_cast<float>(rng.uniformInt(1, 4))});
+    }
+    Sparse3Tensor t(20, 15, 10, q);
+    DenseMatrix b(15, 8), c(10, 8);
+    b.randomize(rng);
+    c.randomize(rng);
+    auto want = mttkrpReference(t, b, c);
+    EXPECT_LT(maxAbsDiff(want, mttkrpCsf(t, b, c, {2, 4})), 1e-3);
+    auto csf = HierSparseTensor::build(FormatDescriptor::csf3d(20, 15, 10), t);
+    EXPECT_LT(maxAbsDiff(want, mttkrpHier(csf, b, c)), 1e-3);
+}
+
+/**
+ * Property: for any sampled SuperSchedule, building its format and running
+ * the format-generic kernel reproduces the reference result. This is the
+ * end-to-end guarantee that the whole search space is executable.
+ */
+class ScheduleExecution : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ScheduleExecution, SpmmCorrectUnderSampledFormats)
+{
+    Rng rng(GetParam() * 7919 + 3);
+    auto m = randomMatrix(48, 36, 140, rng);
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMM, 48, 36, 8);
+    SuperScheduleSpace space(Algorithm::SpMM, shape);
+    DenseMatrix b(36, 8);
+    b.randomize(rng);
+    auto want = spmmReference(m, b);
+    for (int n = 0; n < 6; ++n) {
+        auto s = space.sample(rng);
+        HierSparseTensor t = [&] {
+            try {
+                return HierSparseTensor::build(formatOf(s, shape), m);
+            } catch (const FormatTooLarge&) {
+                return HierSparseTensor::build(
+                    FormatDescriptor::csr(48, 36), m);
+            }
+        }();
+        auto got = spmmHier(t, b);
+        EXPECT_LT(maxAbsDiff(want, got), 1e-3) << s.key();
+    }
+}
+
+TEST_P(ScheduleExecution, SddmmCorrectUnderSampledFormats)
+{
+    Rng rng(GetParam() * 104729 + 11);
+    auto m = randomMatrix(32, 40, 100, rng);
+    auto shape = ProblemShape::forMatrix(Algorithm::SDDMM, 32, 40, 8);
+    SuperScheduleSpace space(Algorithm::SDDMM, shape);
+    DenseMatrix b(32, 8);
+    DenseMatrix c(8, 40, Layout::ColMajor);
+    b.randomize(rng);
+    c.randomize(rng);
+    auto want = sddmmReference(m, b, c);
+    for (int n = 0; n < 4; ++n) {
+        auto s = space.sample(rng);
+        HierSparseTensor t = [&] {
+            try {
+                return HierSparseTensor::build(formatOf(s, shape), m);
+            } catch (const FormatTooLarge&) {
+                return HierSparseTensor::build(
+                    FormatDescriptor::csr(32, 40), m);
+            }
+        }();
+        auto got = sddmmHier(t, b, c);
+        ASSERT_EQ(got.nnz(), want.nnz()) << s.key();
+        for (u64 e = 0; e < want.nnz(); ++e)
+            EXPECT_NEAR(want.values()[e], got.values()[e], 1e-3) << s.key();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleExecution,
+                         ::testing::Range<u64>(0, 10));
+
+TEST(ExecMeasure, MedianWallClockIsPositive)
+{
+    Rng rng(23);
+    auto m = randomMatrix(64, 64, 300, rng);
+    auto t = HierSparseTensor::build(FormatDescriptor::csr(64, 64), m);
+    double sec = measureHierKernel(Algorithm::SpMV, t, 0, 3);
+    EXPECT_GT(sec, 0.0);
+    EXPECT_LT(sec, 1.0);
+}
+
+} // namespace
+} // namespace waco

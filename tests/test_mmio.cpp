@@ -1,0 +1,90 @@
+/**
+ * @file
+ * MatrixMarket I/O tests: parsing the format variants SuiteSparse uses
+ * (real/pattern, general/symmetric), round-tripping, and error handling.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tensor/mmio.hpp"
+#include "util/rng.hpp"
+
+namespace waco {
+namespace {
+
+TEST(Mmio, ParsesRealGeneral)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment line\n"
+        "3 4 3\n"
+        "1 1 1.5\n"
+        "2 3 -2.0\n"
+        "3 4 0.25\n");
+    auto m = readMatrixMarket(in, "t");
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.nnz(), 3u);
+    EXPECT_FLOAT_EQ(m.values()[0], 1.5f);
+    EXPECT_EQ(m.name(), "t");
+}
+
+TEST(Mmio, ParsesPatternSymmetric)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        "3 3 2\n"
+        "2 1\n"
+        "3 3\n");
+    auto m = readMatrixMarket(in);
+    // (2,1) mirrored to (1,2); diagonal (3,3) not duplicated.
+    EXPECT_EQ(m.nnz(), 3u);
+    EXPECT_FLOAT_EQ(m.values()[0], 1.0f);
+}
+
+TEST(Mmio, RejectsMalformed)
+{
+    std::istringstream bad1("not a banner\n1 1 0\n");
+    EXPECT_THROW(readMatrixMarket(bad1), FatalError);
+    std::istringstream bad2(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n"); // out of bounds
+    EXPECT_THROW(readMatrixMarket(bad2), FatalError);
+    std::istringstream bad3(
+        "%%MatrixMarket matrix array real general\n2 2\n");
+    EXPECT_THROW(readMatrixMarket(bad3), FatalError);
+}
+
+TEST(Mmio, WriteReadRoundTrip)
+{
+    Rng rng(3);
+    std::vector<Triplet> t;
+    for (int n = 0; n < 50; ++n) {
+        t.push_back({static_cast<u32>(rng.index(20)),
+                     static_cast<u32>(rng.index(30)),
+                     static_cast<float>(rng.uniformInt(1, 100)) / 4.0f});
+    }
+    SparseMatrix m(20, 30, t);
+    std::ostringstream out;
+    writeMatrixMarket(m, out);
+    std::istringstream in(out.str());
+    auto back = readMatrixMarket(in);
+    EXPECT_EQ(back, m);
+}
+
+TEST(Mmio, FileRoundTripAndNameExtraction)
+{
+    SparseMatrix m(2, 2, {{0, 1, 3.0f}});
+    std::string path = ::testing::TempDir() + "/waco_case.mtx";
+    writeMatrixMarketFile(m, path);
+    auto back = readMatrixMarketFile(path);
+    EXPECT_EQ(back.name(), "waco_case");
+    EXPECT_EQ(back.nnz(), 1u);
+    std::remove(path.c_str());
+    EXPECT_THROW(readMatrixMarketFile("/nonexistent/nope.mtx"), FatalError);
+}
+
+} // namespace
+} // namespace waco

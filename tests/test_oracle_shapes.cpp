@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Regression tests pinning the oracle behaviours the paper-reproduction
+ * benches rely on. If a cost-model change silently breaks one of these,
+ * the corresponding table/figure would lose its shape, so they are
+ * asserted here at reduced scale.
+ */
+#include <gtest/gtest.h>
+
+#include "data/generators.hpp"
+#include "perfmodel/cost_model.hpp"
+
+namespace waco {
+namespace {
+
+class OracleShapes : public ::testing::Test
+{
+  protected:
+    RuntimeOracle oracle{MachineConfig::intel24()};
+
+    Measurement
+    run(const SparseMatrix& m, const SuperSchedule& s)
+    {
+        auto shape =
+            ProblemShape::forMatrix(Algorithm::SpMM, m.rows(), m.cols());
+        return oracle.measure(m, shape, s);
+    }
+};
+
+TEST_F(OracleShapes, SparseBlockTilingBeatsCsrOnWideScatteredMatrix)
+{
+    // The sparsine/Table-6 "Sparse Block" effect: on a matrix whose dense
+    // operand misses the LLC, UUC column tiling cuts memory traffic.
+    Rng rng(1);
+    auto m = genUniform(4096, 65536, 200000, rng);
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMM, 4096, 65536);
+    auto wk = wellKnownFormatSchedules(shape);
+    auto csr = run(m, wk[0]);
+    auto uuc = run(m, wk[4]);
+    ASSERT_TRUE(csr.valid);
+    ASSERT_TRUE(uuc.valid);
+    EXPECT_LT(uuc.seconds, csr.seconds * 0.7);
+    EXPECT_LT(uuc.missBytes, csr.missBytes * 0.7);
+}
+
+TEST_F(OracleShapes, BcsrBeatsCsrOnWideBlockMatrix)
+{
+    Rng rng(2);
+    // Wide enough that the dense operand misses the LLC (~50k distinct
+    // columns); block structure then lets BCSR amortize row fetches.
+    auto m = genDenseBlocks(16384, 131072, 16, 4000, 0.95, rng);
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMM, 16384, 131072);
+    auto wk = wellKnownFormatSchedules(shape);
+    auto csr = run(m, wk[0]);
+    auto bcsr = run(m, wk[2]);
+    ASSERT_TRUE(csr.valid);
+    ASSERT_TRUE(bcsr.valid);
+    EXPECT_LT(bcsr.seconds, csr.seconds * 0.8);
+}
+
+TEST_F(OracleShapes, FormatsTieWhenOperandIsCacheResident)
+{
+    // With a small, LLC-resident dense operand there is little headroom:
+    // blocked formats must not be predicted to win big (keeps Fig. 13's
+    // "auto-tuners tie on easy matrices" region honest).
+    Rng rng(3);
+    auto m = genUniform(4096, 4096, 60000, rng);
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMM, 4096, 4096);
+    auto wk = wellKnownFormatSchedules(shape);
+    auto csr = run(m, wk[0]);
+    auto uuc = run(m, wk[4]);
+    EXPECT_GT(uuc.seconds, csr.seconds * 0.85);
+}
+
+TEST_F(OracleShapes, ParallelizingInnerLoopIsExpensive)
+{
+    // CSC-with-inner-parallel (wellKnown[1] for SpMM) relaunches the
+    // parallel region per outer iteration — the oracle must charge it.
+    Rng rng(4);
+    auto m = genUniform(4096, 4096, 60000, rng);
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMM, 4096, 4096);
+    auto wk = wellKnownFormatSchedules(shape);
+    auto csr = run(m, wk[0]);
+    auto csc = run(m, wk[1]);
+    EXPECT_GT(csc.seconds, csr.seconds * 2.0);
+    EXPECT_GT(csc.serialSeconds, csr.serialSeconds);
+}
+
+TEST_F(OracleShapes, LinearCountingTracksTrueTraffic)
+{
+    // Doubling nnz on the same shape must increase modelled miss bytes
+    // noticeably when streaming-bound (sanity for the approximate
+    // distinct counting).
+    Rng rng(5);
+    auto m1 = genUniform(4096, 65536, 120000, rng);
+    auto m2 = genUniform(4096, 65536, 240000, rng);
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMM, 4096, 65536);
+    auto s = defaultSchedule(shape);
+    auto r1 = oracle.measure(m1, shape, s);
+    auto r2 = oracle.measure(m2, shape, s);
+    EXPECT_GT(r2.missBytes, r1.missBytes * 1.5);
+}
+
+} // namespace
+} // namespace waco

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Pattern-statistics tests: the features feeding HumanFeature, BestFormat
+ * and the machine model must be correct on hand-checkable patterns.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/pattern_stats.hpp"
+
+namespace waco {
+namespace {
+
+TEST(PatternStats, DiagonalMatrix)
+{
+    std::vector<Triplet> t;
+    for (u32 i = 0; i < 16; ++i)
+        t.push_back({i, i, 1.0f});
+    auto s = computePatternStats(SparseMatrix(16, 16, t));
+    EXPECT_EQ(s.nnz, 16u);
+    EXPECT_DOUBLE_EQ(s.nnzPerRowMean, 1.0);
+    EXPECT_DOUBLE_EQ(s.nnzPerRowStd, 0.0);
+    EXPECT_DOUBLE_EQ(s.rowSkew, 0.0);
+    EXPECT_DOUBLE_EQ(s.normalizedBandwidth, 0.0);
+    EXPECT_DOUBLE_EQ(s.symmetryFrac, 1.0);
+    EXPECT_DOUBLE_EQ(s.rowNeighborFrac, 0.0);
+    // Each 2x2 block holds exactly one diagonal nonzero.
+    EXPECT_EQ(s.blockFills[0].occupiedBlocks, 8u);
+    EXPECT_DOUBLE_EQ(s.blockFills[0].fill, 16.0 / (8 * 4));
+}
+
+TEST(PatternStats, FullyDenseBlock)
+{
+    std::vector<Triplet> t;
+    for (u32 i = 0; i < 8; ++i)
+        for (u32 j = 0; j < 8; ++j)
+            t.push_back({i, j, 1.0f});
+    auto s = computePatternStats(SparseMatrix(8, 8, t));
+    EXPECT_DOUBLE_EQ(s.density, 1.0);
+    EXPECT_DOUBLE_EQ(s.fillForBlock(2), 1.0);
+    EXPECT_DOUBLE_EQ(s.fillForBlock(8), 1.0);
+    EXPECT_DOUBLE_EQ(s.symmetryFrac, 1.0);
+    // All interior nonzeros have right/below neighbors: 7/8 of columns.
+    EXPECT_DOUBLE_EQ(s.rowNeighborFrac, 7.0 / 8.0);
+}
+
+TEST(PatternStats, EmptyRowsAndSkew)
+{
+    // One dense row, many empty ones.
+    std::vector<Triplet> t;
+    for (u32 j = 0; j < 32; ++j)
+        t.push_back({0, j, 1.0f});
+    auto s = computePatternStats(SparseMatrix(16, 32, t));
+    EXPECT_DOUBLE_EQ(s.emptyRowFrac, 15.0 / 16.0);
+    EXPECT_GT(s.rowSkew, 0.9);
+    EXPECT_EQ(s.nnzPerRowMax, 32u);
+}
+
+TEST(PatternStats, AsymmetricPattern)
+{
+    SparseMatrix m(4, 4, {{0, 3, 1.f}, {1, 2, 1.f}});
+    auto s = computePatternStats(m);
+    EXPECT_DOUBLE_EQ(s.symmetryFrac, 0.0);
+    EXPECT_GT(s.normalizedBandwidth, 0.0);
+}
+
+TEST(PatternStats, FeatureVectorShape)
+{
+    SparseMatrix m(4, 4, {{0, 0, 1.f}});
+    auto s = computePatternStats(m);
+    auto f = s.toFeatureVector();
+    auto names = PatternStats::featureNames();
+    EXPECT_EQ(f.size(), names.size());
+    for (float v : f)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(PatternStats, FillForBlockInterpolatesToNearest)
+{
+    std::vector<Triplet> t;
+    for (u32 i = 0; i < 4; ++i)
+        for (u32 j = 0; j < 4; ++j)
+            t.push_back({i, j, 1.0f});
+    auto s = computePatternStats(SparseMatrix(64, 64, t));
+    // One fully dense 4x4 block.
+    EXPECT_DOUBLE_EQ(s.fillForBlock(4), 1.0);
+    // Requesting b=6 falls back to the nearest measured size (4).
+    EXPECT_DOUBLE_EQ(s.fillForBlock(6), 1.0);
+    EXPECT_EQ(s.occupiedBlocksFor(4), 1u);
+}
+
+} // namespace
+} // namespace waco

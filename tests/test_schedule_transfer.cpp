@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Cross-shape robustness: KNN-graph schedules are sampled on training
+ * matrices but applied to arbitrary test matrices, so any schedule must
+ * remain valid (splits clamp to extents) on any same-algorithm shape.
+ * Also covers the wellKnownFormatSchedules family used as dataset anchors
+ * and BestFormat candidates.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/schedule.hpp"
+#include "perfmodel/cost_model.hpp"
+#include "tensor/coo.hpp"
+#include "util/rng.hpp"
+
+namespace waco {
+namespace {
+
+TEST(WellKnownFormats, FiveDistinctValidFamilies)
+{
+    for (Algorithm alg : {Algorithm::SpMV, Algorithm::SpMM,
+                          Algorithm::SDDMM}) {
+        auto shape = ProblemShape::forMatrix(alg, 300, 200);
+        auto fams = wellKnownFormatSchedules(shape);
+        ASSERT_EQ(fams.size(), 5u) << algorithmName(alg);
+        std::set<std::string> fmt_names;
+        for (const auto& s : fams) {
+            EXPECT_NO_THROW(validateSchedule(s, shape));
+            fmt_names.insert(formatOf(s, shape).name());
+        }
+        EXPECT_EQ(fmt_names.size(), 5u) << algorithmName(alg);
+    }
+}
+
+TEST(WellKnownFormats, RejectsTensors)
+{
+    auto shape = ProblemShape::forTensor3(Algorithm::MTTKRP, 8, 8, 8);
+    EXPECT_THROW(wellKnownFormatSchedules(shape), FatalError);
+}
+
+TEST(ScheduleTransfer, BigScheduleAppliesToTinyShape)
+{
+    // Sample schedules on a large shape, apply on a tiny one: slotExtent
+    // and formatOf clamp splits, and the oracle must accept them.
+    Rng rng(1);
+    auto big = ProblemShape::forMatrix(Algorithm::SpMM, 65536, 65536);
+    auto tiny = ProblemShape::forMatrix(Algorithm::SpMM, 12, 9);
+    SuperScheduleSpace space(Algorithm::SpMM, big);
+    SparseMatrix m(12, 9, {{0, 0, 1.f}, {5, 3, 2.f}, {11, 8, 3.f}});
+    RuntimeOracle oracle(MachineConfig::intel24());
+    for (int n = 0; n < 30; ++n) {
+        auto s = space.sample(rng);
+        EXPECT_NO_THROW(validateSchedule(s, tiny)) << s.key();
+        auto fmt = formatOf(s, tiny);
+        auto t = HierSparseTensor::build(fmt, m);
+        EXPECT_EQ(t.toSparseMatrix(), m) << s.key();
+        auto r = oracle.measure(m, tiny, s);
+        EXPECT_TRUE(r.valid) << s.key();
+        EXPECT_GT(r.seconds, 0.0);
+    }
+}
+
+TEST(ScheduleTransfer, SlotExtentClampsSplits)
+{
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMV, 10, 10);
+    auto s = defaultSchedule(shape);
+    s.splits[0] = 4096; // far larger than the dimension
+    EXPECT_EQ(slotExtent(s, shape, innerSlot(0)), 10u); // clamped
+    EXPECT_EQ(slotExtent(s, shape, outerSlot(0)), 1u);
+}
+
+TEST(OracleThreads, MoreThreadsNeverCatastrophicallyWorse)
+{
+    Rng rng(2);
+    std::vector<Triplet> t;
+    for (int n = 0; n < 30000; ++n) {
+        t.push_back({static_cast<u32>(rng.index(4096)),
+                     static_cast<u32>(rng.index(4096)), 1.0f});
+    }
+    SparseMatrix m(4096, 4096, t);
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMM, 4096, 4096);
+    RuntimeOracle oracle(MachineConfig::intel24());
+    auto s24 = defaultSchedule(shape);
+    s24.numThreads = 24;
+    auto s48 = defaultSchedule(shape);
+    s48.numThreads = 48;
+    auto r24 = oracle.measure(m, shape, s24);
+    auto r48 = oracle.measure(m, shape, s48);
+    // SMT gives a modest boost on compute-bound uniform work; it must not
+    // blow up in either direction.
+    EXPECT_LT(r48.seconds, r24.seconds * 1.5);
+    EXPECT_GT(r48.seconds, r24.seconds * 0.3);
+}
+
+TEST(OracleDiagnostics, BreakdownConsistent)
+{
+    Rng rng(3);
+    std::vector<Triplet> t;
+    for (int n = 0; n < 5000; ++n) {
+        t.push_back({static_cast<u32>(rng.index(1024)),
+                     static_cast<u32>(rng.index(1024)), 1.0f});
+    }
+    SparseMatrix m(1024, 1024, t);
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMM, 1024, 1024);
+    RuntimeOracle oracle(MachineConfig::intel24());
+    auto r = oracle.measure(m, shape, defaultSchedule(shape));
+    ASSERT_TRUE(r.valid);
+    // Total = max(compute, memory) + fixed launch overhead.
+    EXPECT_GE(r.seconds,
+              std::max(r.computeSeconds, r.memorySeconds));
+    EXPECT_GE(r.computeSeconds, r.serialSeconds);
+    EXPECT_GE(r.imbalance, 1.0);
+    EXPECT_GT(r.missBytes, 0.0);
+    EXPECT_GE(r.storedValues, m.nnz());
+    EXPECT_GT(r.formatBytes, 0u);
+}
+
+} // namespace
+} // namespace waco

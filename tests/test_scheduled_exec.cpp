@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the scheduled (threaded) executor: results must match the
+ * serial format-generic kernels for any format and parallel configuration,
+ * and reduction-major storage must be detected and handled serially.
+ */
+#include <gtest/gtest.h>
+
+#include "exec/reference.hpp"
+#include "exec/scheduled.hpp"
+#include "util/rng.hpp"
+
+namespace waco {
+namespace {
+
+SparseMatrix
+randomMatrix(u32 rows, u32 cols, u32 nnz, Rng& rng)
+{
+    std::vector<Triplet> t;
+    for (u32 n = 0; n < nnz; ++n) {
+        t.push_back({static_cast<u32>(rng.index(rows)),
+                     static_cast<u32>(rng.index(cols)),
+                     static_cast<float>(rng.uniformInt(1, 5))});
+    }
+    return SparseMatrix(rows, cols, t);
+}
+
+TEST(ScheduledExec, DetectsParallelizableStorage)
+{
+    Rng rng(1);
+    auto m = randomMatrix(32, 32, 100, rng);
+    auto csr = HierSparseTensor::build(FormatDescriptor::csr(32, 32), m);
+    auto csc = HierSparseTensor::build(FormatDescriptor::csc(32, 32), m);
+    // CSR is row (=output index i) major: parallel-safe for SpMV/SpMM.
+    EXPECT_TRUE(parallelizableTopLevel(Algorithm::SpMV, csr));
+    // CSC is k-major; k reduces in SpMV: unsafe.
+    EXPECT_FALSE(parallelizableTopLevel(Algorithm::SpMV, csc));
+    // For SDDMM both dimensions are safe.
+    EXPECT_TRUE(parallelizableTopLevel(Algorithm::SDDMM, csc));
+}
+
+class ScheduledExecConfig
+    : public ::testing::TestWithParam<std::tuple<u32, u32>> {};
+
+TEST_P(ScheduledExecConfig, SpmvMatchesSerialAcrossFormats)
+{
+    auto [threads, chunk] = GetParam();
+    Rng rng(7);
+    auto m = randomMatrix(96, 64, 500, rng);
+    DenseVector b(64);
+    b.randomize(rng);
+    auto want = spmvReference(m, b);
+    for (const auto& desc :
+         {FormatDescriptor::csr(96, 64), FormatDescriptor::bcsr(96, 64, 4, 4),
+          FormatDescriptor::ucu(96, 64, 8),
+          FormatDescriptor::csc(96, 64)}) {
+        auto t = HierSparseTensor::build(desc, m);
+        auto got = spmvScheduled(t, b, {threads, chunk});
+        EXPECT_LT(maxAbsDiff(want, got), 1e-4) << desc.name();
+    }
+}
+
+TEST_P(ScheduledExecConfig, SpmmMatchesSerial)
+{
+    auto [threads, chunk] = GetParam();
+    Rng rng(8);
+    auto m = randomMatrix(64, 48, 400, rng);
+    DenseMatrix b(48, 8);
+    b.randomize(rng);
+    auto want = spmmReference(m, b);
+    auto t = HierSparseTensor::build(FormatDescriptor::csr(64, 48), m);
+    EXPECT_LT(maxAbsDiff(want, spmmScheduled(t, b, {threads, chunk})), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadChunk, ScheduledExecConfig,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1u, 7u, 64u)));
+
+TEST(ScheduledExec, MttkrpMatchesReference)
+{
+    Rng rng(9);
+    std::vector<Quad> q;
+    for (int n = 0; n < 300; ++n) {
+        q.push_back({static_cast<u32>(rng.index(24)),
+                     static_cast<u32>(rng.index(18)),
+                     static_cast<u32>(rng.index(12)),
+                     static_cast<float>(rng.uniformInt(1, 4))});
+    }
+    Sparse3Tensor t3(24, 18, 12, q);
+    DenseMatrix b(18, 8), c(12, 8);
+    b.randomize(rng);
+    c.randomize(rng);
+    auto want = mttkrpReference(t3, b, c);
+    auto csf = HierSparseTensor::build(FormatDescriptor::csf3d(24, 18, 12),
+                                       t3);
+    EXPECT_LT(maxAbsDiff(want, mttkrpScheduled(csf, b, c, {3, 4})), 1e-3);
+}
+
+TEST(ScheduledExec, TopRangeCoversExactlyOnce)
+{
+    Rng rng(10);
+    auto m = randomMatrix(40, 40, 200, rng);
+    auto t = HierSparseTensor::build(FormatDescriptor::csr(40, 40), m);
+    u64 total = t.topLevelSize();
+    // Split the top level into 3 arbitrary ranges: union must equal the
+    // full stored set exactly once.
+    u64 count = 0;
+    double sum = 0.0;
+    for (auto [b, e] : {std::pair<u64, u64>{0, 13},
+                        std::pair<u64, u64>{13, 29},
+                        std::pair<u64, u64>{29, total}}) {
+        t.forEachStoredInTopRange(
+            b, e, [&](const std::array<u32, 3>&, float v, bool ok) {
+                if (ok) {
+                    ++count;
+                    sum += v;
+                }
+            });
+    }
+    double all = 0.0;
+    u64 all_count = 0;
+    t.forEachStored([&](const std::array<u32, 3>&, float v, bool ok) {
+        if (ok) {
+            ++all_count;
+            all += v;
+        }
+    });
+    EXPECT_EQ(count, all_count);
+    EXPECT_DOUBLE_EQ(sum, all);
+}
+
+} // namespace
+} // namespace waco

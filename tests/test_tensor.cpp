@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the canonical COO types and CSR conversion.
+ */
+#include <gtest/gtest.h>
+
+#include "tensor/coo.hpp"
+#include "tensor/csr.hpp"
+#include "util/rng.hpp"
+
+namespace waco {
+namespace {
+
+TEST(SparseMatrix, SortsAndDeduplicates)
+{
+    SparseMatrix m(3, 3,
+                   {{2, 1, 1.0f}, {0, 0, 2.0f}, {2, 1, 3.0f}, {1, 2, 4.0f}});
+    EXPECT_EQ(m.nnz(), 3u);
+    EXPECT_EQ(m.rowIndices(), (std::vector<u32>{0, 1, 2}));
+    EXPECT_EQ(m.colIndices(), (std::vector<u32>{0, 2, 1}));
+    EXPECT_FLOAT_EQ(m.values()[2], 4.0f); // 1 + 3 summed
+}
+
+TEST(SparseMatrix, RejectsOutOfBounds)
+{
+    EXPECT_THROW(SparseMatrix(2, 2, {{2, 0, 1.0f}}), FatalError);
+}
+
+TEST(SparseMatrix, DensityAndCounts)
+{
+    SparseMatrix m(2, 4, {{0, 0, 1.f}, {0, 1, 1.f}, {1, 3, 1.f}});
+    EXPECT_DOUBLE_EQ(m.density(), 3.0 / 8.0);
+    EXPECT_EQ(m.rowNnz(), (std::vector<u32>{2, 1}));
+    EXPECT_EQ(m.colNnz(), (std::vector<u32>{1, 1, 0, 1}));
+}
+
+TEST(SparseMatrix, TransposeRoundTrip)
+{
+    SparseMatrix m(3, 5, {{0, 4, 1.f}, {2, 1, 2.f}, {1, 1, 3.f}});
+    SparseMatrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 5u);
+    EXPECT_EQ(t.cols(), 3u);
+    SparseMatrix tt = t.transposed();
+    EXPECT_EQ(tt.rowIndices(), m.rowIndices());
+    EXPECT_EQ(tt.colIndices(), m.colIndices());
+    EXPECT_EQ(tt.values(), m.values());
+}
+
+TEST(SparseMatrix, ResizePreservesNnzUpperBound)
+{
+    Rng rng(7);
+    std::vector<Triplet> t;
+    for (int n = 0; n < 200; ++n) {
+        t.push_back({static_cast<u32>(rng.index(100)),
+                     static_cast<u32>(rng.index(100)), 1.0f});
+    }
+    SparseMatrix m(100, 100, t);
+    SparseMatrix r = m.resized(37, 211);
+    EXPECT_EQ(r.rows(), 37u);
+    EXPECT_EQ(r.cols(), 211u);
+    EXPECT_LE(r.nnz(), m.nnz());
+    EXPECT_GT(r.nnz(), 0u);
+}
+
+TEST(Csr, MatchesCoo)
+{
+    SparseMatrix m(3, 4, {{0, 1, 1.f}, {0, 3, 2.f}, {2, 0, 3.f}});
+    Csr csr(m);
+    EXPECT_EQ(csr.rowPtr(), (std::vector<u64>{0, 2, 2, 3}));
+    EXPECT_EQ(csr.colIdx(), (std::vector<u32>{1, 3, 0}));
+    EXPECT_FLOAT_EQ(csr.values()[2], 3.0f);
+}
+
+TEST(Sparse3Tensor, SortsAndDeduplicates)
+{
+    Sparse3Tensor t(2, 2, 2,
+                    {{1, 1, 1, 1.f}, {0, 0, 0, 2.f}, {1, 1, 1, 1.f}});
+    EXPECT_EQ(t.nnz(), 2u);
+    EXPECT_FLOAT_EQ(t.values()[1], 2.0f);
+    EXPECT_EQ(t.iIndices()[0], 0u);
+}
+
+} // namespace
+} // namespace waco
