@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_simd_cliff.dir/bench_fig14_simd_cliff.cpp.o"
+  "CMakeFiles/bench_fig14_simd_cliff.dir/bench_fig14_simd_cliff.cpp.o.d"
+  "CMakeFiles/bench_fig14_simd_cliff.dir/common.cpp.o"
+  "CMakeFiles/bench_fig14_simd_cliff.dir/common.cpp.o.d"
+  "bench_fig14_simd_cliff"
+  "bench_fig14_simd_cliff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_simd_cliff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

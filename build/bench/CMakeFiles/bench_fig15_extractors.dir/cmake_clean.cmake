@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_extractors.dir/bench_fig15_extractors.cpp.o"
+  "CMakeFiles/bench_fig15_extractors.dir/bench_fig15_extractors.cpp.o.d"
+  "CMakeFiles/bench_fig15_extractors.dir/common.cpp.o"
+  "CMakeFiles/bench_fig15_extractors.dir/common.cpp.o.d"
+  "bench_fig15_extractors"
+  "bench_fig15_extractors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_extractors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_overhead.dir/bench_fig17_overhead.cpp.o"
+  "CMakeFiles/bench_fig17_overhead.dir/bench_fig17_overhead.cpp.o.d"
+  "CMakeFiles/bench_fig17_overhead.dir/common.cpp.o"
+  "CMakeFiles/bench_fig17_overhead.dir/common.cpp.o.d"
+  "bench_fig17_overhead"
+  "bench_fig17_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

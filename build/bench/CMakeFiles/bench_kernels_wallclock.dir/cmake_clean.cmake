@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernels_wallclock.dir/bench_kernels_wallclock.cpp.o"
+  "CMakeFiles/bench_kernels_wallclock.dir/bench_kernels_wallclock.cpp.o.d"
+  "CMakeFiles/bench_kernels_wallclock.dir/common.cpp.o"
+  "CMakeFiles/bench_kernels_wallclock.dir/common.cpp.o.d"
+  "bench_kernels_wallclock"
+  "bench_kernels_wallclock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernels_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

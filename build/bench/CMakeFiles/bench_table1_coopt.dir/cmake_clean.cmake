@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_coopt.dir/bench_table1_coopt.cpp.o"
+  "CMakeFiles/bench_table1_coopt.dir/bench_table1_coopt.cpp.o.d"
+  "CMakeFiles/bench_table1_coopt.dir/common.cpp.o"
+  "CMakeFiles/bench_table1_coopt.dir/common.cpp.o.d"
+  "bench_table1_coopt"
+  "bench_table1_coopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_coopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cross.dir/bench_table2_cross.cpp.o"
+  "CMakeFiles/bench_table2_cross.dir/bench_table2_cross.cpp.o.d"
+  "CMakeFiles/bench_table2_cross.dir/common.cpp.o"
+  "CMakeFiles/bench_table2_cross.dir/common.cpp.o.d"
+  "bench_table2_cross"
+  "bench_table2_cross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_5_geomean.dir/bench_table4_5_geomean.cpp.o"
+  "CMakeFiles/bench_table4_5_geomean.dir/bench_table4_5_geomean.cpp.o.d"
+  "CMakeFiles/bench_table4_5_geomean.dir/common.cpp.o"
+  "CMakeFiles/bench_table4_5_geomean.dir/common.cpp.o.d"
+  "bench_table4_5_geomean"
+  "bench_table4_5_geomean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_5_geomean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_factors.dir/bench_table6_factors.cpp.o"
+  "CMakeFiles/bench_table6_factors.dir/bench_table6_factors.cpp.o.d"
+  "CMakeFiles/bench_table6_factors.dir/common.cpp.o"
+  "CMakeFiles/bench_table6_factors.dir/common.cpp.o.d"
+  "bench_table6_factors"
+  "bench_table6_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_crosshw.dir/bench_table7_crosshw.cpp.o"
+  "CMakeFiles/bench_table7_crosshw.dir/bench_table7_crosshw.cpp.o.d"
+  "CMakeFiles/bench_table7_crosshw.dir/common.cpp.o"
+  "CMakeFiles/bench_table7_crosshw.dir/common.cpp.o.d"
+  "bench_table7_crosshw"
+  "bench_table7_crosshw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_crosshw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

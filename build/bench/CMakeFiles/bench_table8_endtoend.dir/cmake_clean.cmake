@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_endtoend.dir/bench_table8_endtoend.cpp.o"
+  "CMakeFiles/bench_table8_endtoend.dir/bench_table8_endtoend.cpp.o.d"
+  "CMakeFiles/bench_table8_endtoend.dir/common.cpp.o"
+  "CMakeFiles/bench_table8_endtoend.dir/common.cpp.o.d"
+  "bench_table8_endtoend"
+  "bench_table8_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_als_mttkrp.dir/als_mttkrp.cpp.o"
+  "CMakeFiles/example_als_mttkrp.dir/als_mttkrp.cpp.o.d"
+  "example_als_mttkrp"
+  "example_als_mttkrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_als_mttkrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_als_mttkrp.
+# This may be replaced when dependencies are built.

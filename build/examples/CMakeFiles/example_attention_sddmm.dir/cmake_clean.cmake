@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_attention_sddmm.dir/attention_sddmm.cpp.o"
+  "CMakeFiles/example_attention_sddmm.dir/attention_sddmm.cpp.o.d"
+  "example_attention_sddmm"
+  "example_attention_sddmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_attention_sddmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

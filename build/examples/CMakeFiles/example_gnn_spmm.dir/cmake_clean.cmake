@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gnn_spmm.dir/gnn_spmm.cpp.o"
+  "CMakeFiles/example_gnn_spmm.dir/gnn_spmm.cpp.o.d"
+  "example_gnn_spmm"
+  "example_gnn_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gnn_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pagerank_spmv.dir/pagerank_spmv.cpp.o"
+  "CMakeFiles/example_pagerank_spmv.dir/pagerank_spmv.cpp.o.d"
+  "example_pagerank_spmv"
+  "example_pagerank_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pagerank_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tune_cli.dir/tune_cli.cpp.o"
+  "CMakeFiles/example_tune_cli.dir/tune_cli.cpp.o.d"
+  "example_tune_cli"
+  "example_tune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

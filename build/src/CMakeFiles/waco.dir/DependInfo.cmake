@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/annsearch/hnsw.cpp" "src/CMakeFiles/waco.dir/annsearch/hnsw.cpp.o" "gcc" "src/CMakeFiles/waco.dir/annsearch/hnsw.cpp.o.d"
+  "/root/repo/src/annsearch/tuners.cpp" "src/CMakeFiles/waco.dir/annsearch/tuners.cpp.o" "gcc" "src/CMakeFiles/waco.dir/annsearch/tuners.cpp.o.d"
+  "/root/repo/src/baselines/baselines.cpp" "src/CMakeFiles/waco.dir/baselines/baselines.cpp.o" "gcc" "src/CMakeFiles/waco.dir/baselines/baselines.cpp.o.d"
+  "/root/repo/src/codegen/emit.cpp" "src/CMakeFiles/waco.dir/codegen/emit.cpp.o" "gcc" "src/CMakeFiles/waco.dir/codegen/emit.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/CMakeFiles/waco.dir/core/dataset.cpp.o" "gcc" "src/CMakeFiles/waco.dir/core/dataset.cpp.o.d"
+  "/root/repo/src/core/dataset_io.cpp" "src/CMakeFiles/waco.dir/core/dataset_io.cpp.o" "gcc" "src/CMakeFiles/waco.dir/core/dataset_io.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/waco.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/waco.dir/core/trainer.cpp.o.d"
+  "/root/repo/src/core/waco_tuner.cpp" "src/CMakeFiles/waco.dir/core/waco_tuner.cpp.o" "gcc" "src/CMakeFiles/waco.dir/core/waco_tuner.cpp.o.d"
+  "/root/repo/src/data/generators.cpp" "src/CMakeFiles/waco.dir/data/generators.cpp.o" "gcc" "src/CMakeFiles/waco.dir/data/generators.cpp.o.d"
+  "/root/repo/src/exec/kernels.cpp" "src/CMakeFiles/waco.dir/exec/kernels.cpp.o" "gcc" "src/CMakeFiles/waco.dir/exec/kernels.cpp.o.d"
+  "/root/repo/src/exec/reference.cpp" "src/CMakeFiles/waco.dir/exec/reference.cpp.o" "gcc" "src/CMakeFiles/waco.dir/exec/reference.cpp.o.d"
+  "/root/repo/src/exec/scheduled.cpp" "src/CMakeFiles/waco.dir/exec/scheduled.cpp.o" "gcc" "src/CMakeFiles/waco.dir/exec/scheduled.cpp.o.d"
+  "/root/repo/src/ir/algorithm.cpp" "src/CMakeFiles/waco.dir/ir/algorithm.cpp.o" "gcc" "src/CMakeFiles/waco.dir/ir/algorithm.cpp.o.d"
+  "/root/repo/src/ir/schedule.cpp" "src/CMakeFiles/waco.dir/ir/schedule.cpp.o" "gcc" "src/CMakeFiles/waco.dir/ir/schedule.cpp.o.d"
+  "/root/repo/src/model/feature_extractor.cpp" "src/CMakeFiles/waco.dir/model/feature_extractor.cpp.o" "gcc" "src/CMakeFiles/waco.dir/model/feature_extractor.cpp.o.d"
+  "/root/repo/src/model/program_embedder.cpp" "src/CMakeFiles/waco.dir/model/program_embedder.cpp.o" "gcc" "src/CMakeFiles/waco.dir/model/program_embedder.cpp.o.d"
+  "/root/repo/src/model/waco_model.cpp" "src/CMakeFiles/waco.dir/model/waco_model.cpp.o" "gcc" "src/CMakeFiles/waco.dir/model/waco_model.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/CMakeFiles/waco.dir/nn/layers.cpp.o" "gcc" "src/CMakeFiles/waco.dir/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/waco.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/waco.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/mat.cpp" "src/CMakeFiles/waco.dir/nn/mat.cpp.o" "gcc" "src/CMakeFiles/waco.dir/nn/mat.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/waco.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/waco.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/waco.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/waco.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/sparse_conv.cpp" "src/CMakeFiles/waco.dir/nn/sparse_conv.cpp.o" "gcc" "src/CMakeFiles/waco.dir/nn/sparse_conv.cpp.o.d"
+  "/root/repo/src/perfmodel/cost_model.cpp" "src/CMakeFiles/waco.dir/perfmodel/cost_model.cpp.o" "gcc" "src/CMakeFiles/waco.dir/perfmodel/cost_model.cpp.o.d"
+  "/root/repo/src/perfmodel/machine.cpp" "src/CMakeFiles/waco.dir/perfmodel/machine.cpp.o" "gcc" "src/CMakeFiles/waco.dir/perfmodel/machine.cpp.o.d"
+  "/root/repo/src/tensor/coo.cpp" "src/CMakeFiles/waco.dir/tensor/coo.cpp.o" "gcc" "src/CMakeFiles/waco.dir/tensor/coo.cpp.o.d"
+  "/root/repo/src/tensor/csr.cpp" "src/CMakeFiles/waco.dir/tensor/csr.cpp.o" "gcc" "src/CMakeFiles/waco.dir/tensor/csr.cpp.o.d"
+  "/root/repo/src/tensor/format.cpp" "src/CMakeFiles/waco.dir/tensor/format.cpp.o" "gcc" "src/CMakeFiles/waco.dir/tensor/format.cpp.o.d"
+  "/root/repo/src/tensor/mmio.cpp" "src/CMakeFiles/waco.dir/tensor/mmio.cpp.o" "gcc" "src/CMakeFiles/waco.dir/tensor/mmio.cpp.o.d"
+  "/root/repo/src/tensor/pattern_stats.cpp" "src/CMakeFiles/waco.dir/tensor/pattern_stats.cpp.o" "gcc" "src/CMakeFiles/waco.dir/tensor/pattern_stats.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/waco.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/waco.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/waco.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/waco.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_annsearch.cpp" "tests/CMakeFiles/waco_tests.dir/test_annsearch.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_annsearch.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/waco_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_codegen_and_io.cpp" "tests/CMakeFiles/waco_tests.dir/test_codegen_and_io.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_codegen_and_io.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/waco_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_embedder.cpp" "tests/CMakeFiles/waco_tests.dir/test_embedder.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_embedder.cpp.o.d"
+  "/root/repo/tests/test_exec.cpp" "tests/CMakeFiles/waco_tests.dir/test_exec.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_exec.cpp.o.d"
+  "/root/repo/tests/test_format.cpp" "tests/CMakeFiles/waco_tests.dir/test_format.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_format.cpp.o.d"
+  "/root/repo/tests/test_mmio.cpp" "tests/CMakeFiles/waco_tests.dir/test_mmio.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_mmio.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/waco_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/waco_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_oracle_shapes.cpp" "tests/CMakeFiles/waco_tests.dir/test_oracle_shapes.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_oracle_shapes.cpp.o.d"
+  "/root/repo/tests/test_pattern_stats.cpp" "tests/CMakeFiles/waco_tests.dir/test_pattern_stats.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_pattern_stats.cpp.o.d"
+  "/root/repo/tests/test_perfmodel.cpp" "tests/CMakeFiles/waco_tests.dir/test_perfmodel.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_perfmodel.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/waco_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_schedule_transfer.cpp" "tests/CMakeFiles/waco_tests.dir/test_schedule_transfer.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_schedule_transfer.cpp.o.d"
+  "/root/repo/tests/test_scheduled_exec.cpp" "tests/CMakeFiles/waco_tests.dir/test_scheduled_exec.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_scheduled_exec.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/waco_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/waco_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_waco_tuner.cpp" "tests/CMakeFiles/waco_tests.dir/test_waco_tuner.cpp.o" "gcc" "tests/CMakeFiles/waco_tests.dir/test_waco_tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/waco.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
