@@ -5,41 +5,97 @@
  * + schedule, the TACO-style C code implementing it, and the expected
  * speedup on the modelled machine.
  *
+ * The fault-injection flags drive the whole fault-tolerance layer end to
+ * end: measurements flow oracle -> FaultyOracle -> RobustMeasurer, corpus
+ * labeling checkpoints to --checkpoint and resumes from it, and training
+ * runs with gradient clipping + divergence rollback.
+ *
  * Usage: example_tune_cli [spmv|spmm|sddmm] [matrix.mtx]
+ *          [--faults P] [--noise SIGMA] [--timeout SECS]
+ *          [--retries N] [--median K] [--checkpoint FILE]
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "codegen/emit.hpp"
 #include "core/waco_tuner.hpp"
 #include "data/generators.hpp"
+#include "perfmodel/faulty_oracle.hpp"
 #include "tensor/mmio.hpp"
 #include "util/logging.hpp"
 
 using namespace waco;
 
+namespace {
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [spmv|spmm|sddmm] [matrix.mtx]\n"
+                 "          [--faults P] [--noise SIGMA] [--timeout SECS]\n"
+                 "          [--retries N] [--median K] [--checkpoint FILE]\n",
+                 argv0);
+    std::exit(2);
+}
+
+} // namespace
+
 int
-main(int argc, char** argv)
+run(int argc, char** argv)
 {
     setLogLevel(LogLevel::Warn);
     Algorithm alg = Algorithm::SpMM;
-    if (argc > 1) {
-        if (!std::strcmp(argv[1], "spmv"))
+    std::string matrix_path;
+    FaultConfig faults;
+    bool faulty = false;
+    RetryPolicy retry;
+    std::string checkpoint_path;
+
+    for (int i = 1; i < argc; ++i) {
+        auto num = [&](double lo) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            double v = std::atof(argv[++i]);
+            if (v < lo)
+                usage(argv[0]);
+            return v;
+        };
+        if (!std::strcmp(argv[i], "spmv"))
             alg = Algorithm::SpMV;
-        else if (!std::strcmp(argv[1], "spmm"))
+        else if (!std::strcmp(argv[i], "spmm"))
             alg = Algorithm::SpMM;
-        else if (!std::strcmp(argv[1], "sddmm"))
+        else if (!std::strcmp(argv[i], "sddmm"))
             alg = Algorithm::SDDMM;
-        else {
-            std::fprintf(stderr,
-                         "usage: %s [spmv|spmm|sddmm] [matrix.mtx]\n",
-                         argv[0]);
-            return 2;
+        else if (!std::strcmp(argv[i], "--faults")) {
+            faults.failProb = num(0.0);
+            faulty = true;
+        } else if (!std::strcmp(argv[i], "--noise")) {
+            faults.noiseSigma = num(0.0);
+            faulty = true;
+        } else if (!std::strcmp(argv[i], "--timeout")) {
+            faults.timeoutSeconds = num(0.0);
+            faulty = true;
+        } else if (!std::strcmp(argv[i], "--retries")) {
+            retry.maxAttempts = static_cast<u32>(num(1.0));
+        } else if (!std::strcmp(argv[i], "--median")) {
+            retry.medianOf = static_cast<u32>(num(1.0));
+        } else if (!std::strcmp(argv[i], "--checkpoint")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            checkpoint_path = argv[++i];
+        } else if (argv[i][0] != '-' && matrix_path.empty()) {
+            matrix_path = argv[i];
+        } else {
+            usage(argv[0]);
         }
     }
+
     Rng rng(77);
-    SparseMatrix m = argc > 2
-        ? readMatrixMarketFile(argv[2])
+    SparseMatrix m = !matrix_path.empty()
+        ? readMatrixMarketFile(matrix_path)
         : genPowerLawRows(4096, 4096, 60000, 0.9, rng, false);
     std::printf("%s on '%s' (%u x %u, %llu nnz)\n",
                 algorithmName(alg).c_str(), m.name().c_str(), m.rows(),
@@ -51,15 +107,49 @@ main(int argc, char** argv)
     opt.extractorConfig.featureDim = 32;
     opt.schedulesPerMatrix = 15;
     opt.train.epochs = 5;
+    opt.retry = retry;
+    if (faulty) {
+        // A flaky backend needs the full hardening: retries, denoising,
+        // gradient clipping and divergence rollback.
+        if (retry.medianOf == 1)
+            opt.retry.medianOf = 3;
+        opt.train.clipNorm = 10.0;
+        opt.train.divergeFactor = 10.0;
+    }
     WacoTuner tuner(alg, MachineConfig::intel24(), opt);
+    std::unique_ptr<FaultyOracle> faulty_backend;
+    if (faulty) {
+        std::printf("fault injection: fail %.0f%%, noise sigma %.2f, "
+                    "timeout %.3gs; retries %u, median-of-%u\n",
+                    faults.failProb * 100.0, faults.noiseSigma,
+                    faults.timeoutSeconds, opt.retry.maxAttempts,
+                    opt.retry.medianOf);
+        faulty_backend =
+            std::make_unique<FaultyOracle>(tuner.oracle(), faults);
+        tuner.setMeasurementBackend(*faulty_backend);
+    }
+
     CorpusOptions copt;
     copt.count = 10;
     copt.minDim = 1024;
     copt.maxDim = 8192;
     copt.minNnz = 4000;
     copt.maxNnz = 60000;
+    auto corpus = makeCorpus(copt, 78);
     std::printf("training the cost model on a synthetic corpus...\n");
-    tuner.train(makeCorpus(copt, 78));
+    if (!checkpoint_path.empty()) {
+        // Checkpointed labeling: re-running after an interruption resumes
+        // from the flushed prefix instead of relabeling from scratch.
+        LabelingOptions lopt;
+        lopt.schedulesPerMatrix = opt.schedulesPerMatrix;
+        lopt.seed = opt.seed;
+        lopt.checkpointPath = checkpoint_path;
+        RobustMeasurer robust(tuner.backend(), opt.retry);
+        auto ds = buildDatasetResumable(alg, corpus, robust, lopt);
+        tuner.trainOnDataset(ds);
+    } else {
+        tuner.train(corpus);
+    }
 
     auto outcome = tuner.tune(m);
     auto shape = ProblemShape::forMatrix(alg, m.rows(), m.cols());
@@ -69,7 +159,29 @@ main(int argc, char** argv)
     std::printf("expected: %.3f ms vs CSR default %.3f ms (%.2fx)\n",
                 outcome.bestMeasured.seconds * 1e3, fixed.seconds * 1e3,
                 fixed.seconds / outcome.bestMeasured.seconds);
+    if (faulty) {
+        const auto& st = outcome.remeasureStats;
+        std::printf("remeasure stats: %llu attempts, %llu retries, "
+                    "%llu faults, %llu timeouts, %llu discarded%s\n",
+                    static_cast<unsigned long long>(st.attempts),
+                    static_cast<unsigned long long>(st.retries),
+                    static_cast<unsigned long long>(st.faults),
+                    static_cast<unsigned long long>(st.timeouts),
+                    static_cast<unsigned long long>(st.discarded),
+                    outcome.fellBack ? " (fell back to CSR default)" : "");
+    }
     std::printf("\n--- generated C (TACO-style) ---\n%s",
                 emitC(outcome.best, shape).c_str());
     return 0;
+}
+
+int
+main(int argc, char** argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }

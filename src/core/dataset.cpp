@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "core/dataset_io.hpp"
 #include "util/logging.hpp"
 
 namespace waco {
@@ -25,7 +26,7 @@ splitTrainVal(CostDataset& ds, Rng& rng)
 }
 
 void
-sampleEntry(DatasetEntry& e, Algorithm alg, const RuntimeOracle& oracle,
+sampleEntry(DatasetEntry& e, Algorithm alg, const MeasurementBackend& oracle,
             u32 schedules_per_matrix, Rng& rng)
 {
     SuperScheduleSpace space(alg, e.shape);
@@ -34,8 +35,16 @@ sampleEntry(DatasetEntry& e, Algorithm alg, const RuntimeOracle& oracle,
     auto add = [&](const SuperSchedule& s) {
         if (!seen.insert(s.key()).second)
             return;
-        Measurement m = e.is3d ? oracle.measure(e.tensor, e.shape, s)
-                               : oracle.measure(e.matrix, e.shape, s);
+        Measurement m;
+        try {
+            m = e.is3d ? oracle.measure(e.tensor, e.shape, s)
+                       : oracle.measure(e.matrix, e.shape, s);
+        } catch (const MeasurementError&) {
+            // A transient backend failure drops this schedule, never the
+            // labeling run (wrap the backend in a RobustMeasurer to retry
+            // instead of dropping).
+            return;
+        }
         if (m.valid) // invalid = excluded, like the paper's >1min timeouts
             e.samples.push_back({s, m.seconds});
     };
@@ -89,7 +98,8 @@ CostDataset::allSchedules() const
 
 CostDataset
 buildDataset(Algorithm alg, const std::vector<SparseMatrix>& corpus,
-             const RuntimeOracle& oracle, u32 schedules_per_matrix, u64 seed)
+             const MeasurementBackend& oracle, u32 schedules_per_matrix,
+             u64 seed)
 {
     fatalIf(algorithmInfo(alg).sparseOrder != 2,
             "buildDataset requires a matrix algorithm");
@@ -115,7 +125,8 @@ buildDataset(Algorithm alg, const std::vector<SparseMatrix>& corpus,
 
 CostDataset
 buildDataset3d(Algorithm alg, const std::vector<Sparse3Tensor>& corpus,
-               const RuntimeOracle& oracle, u32 schedules_per_matrix, u64 seed)
+               const MeasurementBackend& oracle, u32 schedules_per_matrix,
+               u64 seed)
 {
     fatalIf(algorithmInfo(alg).sparseOrder != 3,
             "buildDataset3d requires a 3D algorithm");
@@ -135,6 +146,98 @@ buildDataset3d(Algorithm alg, const std::vector<Sparse3Tensor>& corpus,
     }
     fatalIf(ds.entries.empty(), "dataset has no usable entries");
     splitTrainVal(ds, rng);
+    return ds;
+}
+
+namespace {
+
+/** splitmix64-style mixer for deriving independent per-item seeds. */
+u64
+mixSeed(u64 seed, u64 salt)
+{
+    u64 z = seed + 0x9e3779b97f4a7c15ull * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+u64
+hashCombine(u64 h, u64 v)
+{
+    return mixSeed(h ^ v, v);
+}
+
+} // namespace
+
+u64
+corpusFingerprint(Algorithm alg, const std::vector<SparseMatrix>& corpus,
+                  u32 schedules_per_matrix, u64 seed)
+{
+    u64 h = 0x5741434f; // "WACO"
+    h = hashCombine(h, static_cast<u64>(alg));
+    h = hashCombine(h, schedules_per_matrix);
+    h = hashCombine(h, seed);
+    h = hashCombine(h, corpus.size());
+    for (const auto& m : corpus) {
+        for (char c : m.name())
+            h = hashCombine(h, static_cast<unsigned char>(c));
+        h = hashCombine(h, m.rows());
+        h = hashCombine(h, m.cols());
+        h = hashCombine(h, m.nnz());
+    }
+    return h;
+}
+
+CostDataset
+buildDatasetResumable(Algorithm alg, const std::vector<SparseMatrix>& corpus,
+                      const MeasurementBackend& oracle,
+                      const LabelingOptions& opt)
+{
+    fatalIf(algorithmInfo(alg).sparseOrder != 2,
+            "buildDatasetResumable requires a matrix algorithm");
+    fatalIf(opt.flushEvery == 0, "LabelingOptions.flushEvery must be >= 1");
+
+    u64 fingerprint =
+        corpusFingerprint(alg, corpus, opt.schedulesPerMatrix, opt.seed);
+    LabelCheckpoint ckpt;
+    ckpt.partial.alg = alg;
+    if (!opt.checkpointPath.empty() &&
+        tryLoadLabelCheckpoint(opt.checkpointPath, fingerprint, &ckpt)) {
+        logInfo("resuming corpus labeling from " + opt.checkpointPath +
+                " (" + std::to_string(ckpt.completed) + "/" +
+                std::to_string(corpus.size()) + " items done)");
+    }
+    fatalIf(ckpt.completed > corpus.size(),
+            "labeling checkpoint covers more items than the corpus");
+
+    for (u32 i = ckpt.completed; i < corpus.size(); ++i) {
+        const auto& m = corpus[i];
+        // Independent per-item seed: the labels of item i do not depend on
+        // how many items ran before it in this process, which is what
+        // makes interrupted-and-resumed runs bit-identical.
+        Rng rng(mixSeed(opt.seed, i));
+        DatasetEntry e;
+        e.name = m.name();
+        e.matrix = m;
+        e.shape = ProblemShape::forMatrix(alg, m.rows(), m.cols());
+        e.pattern = PatternInput::fromMatrix(m);
+        sampleEntry(e, alg, oracle, opt.schedulesPerMatrix, rng);
+        if (e.samples.size() >= 2)
+            ckpt.partial.entries.push_back(std::move(e));
+        else
+            logWarn("dropping matrix with too few valid schedules: " +
+                    m.name());
+        ckpt.completed = i + 1;
+        bool flush_due = (i + 1) % opt.flushEvery == 0;
+        if (!opt.checkpointPath.empty() &&
+            (flush_due || i + 1 == corpus.size()))
+            saveLabelCheckpoint(ckpt, fingerprint, opt.checkpointPath);
+    }
+
+    CostDataset ds = std::move(ckpt.partial);
+    fatalIf(ds.entries.empty(), "dataset has no usable entries");
+    Rng split_rng(mixSeed(opt.seed, 0xfeedface));
+    splitTrainVal(ds, split_rng);
     return ds;
 }
 

@@ -9,6 +9,7 @@
  */
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "model/feature_extractor.hpp"
@@ -47,16 +48,48 @@ struct CostDataset
     std::vector<SuperSchedule> allSchedules() const;
 };
 
-/** Label a 2D corpus (SpMV / SpMM / SDDMM). */
+/** Label a 2D corpus (SpMV / SpMM / SDDMM). Transient measurement
+ *  failures (MeasurementError) and invalid results skip that schedule. */
 CostDataset buildDataset(Algorithm alg,
                          const std::vector<SparseMatrix>& corpus,
-                         const RuntimeOracle& oracle, u32 schedules_per_matrix,
-                         u64 seed);
+                         const MeasurementBackend& oracle,
+                         u32 schedules_per_matrix, u64 seed);
 
 /** Label a 3D corpus (MTTKRP). */
 CostDataset buildDataset3d(Algorithm alg,
                            const std::vector<Sparse3Tensor>& corpus,
-                           const RuntimeOracle& oracle,
+                           const MeasurementBackend& oracle,
                            u32 schedules_per_matrix, u64 seed);
+
+/** Knobs of the fault-tolerant, checkpointed labeling pass. */
+struct LabelingOptions
+{
+    u32 schedulesPerMatrix = 40;
+    u64 seed = 42;
+    /** Checkpoint file; "" disables checkpointing (but the per-matrix
+     *  seeding below still makes the result independent of interruption). */
+    std::string checkpointPath;
+    /** Flush the checkpoint after this many newly labeled corpus items. */
+    u32 flushEvery = 1;
+};
+
+/**
+ * Fingerprint of one exact labeling job: algorithm, options, and the
+ * corpus itself (names, dims, nnz). Checkpoints carry it so a resume
+ * against a different corpus or configuration fails loudly.
+ */
+u64 corpusFingerprint(Algorithm alg, const std::vector<SparseMatrix>& corpus,
+                      u32 schedules_per_matrix, u64 seed);
+
+/**
+ * Checkpointed, resumable version of buildDataset: every matrix is labeled
+ * under a seed derived from (seed, corpus index) — not a running stream —
+ * so a run killed halfway and resumed from its checkpoint produces a
+ * bit-identical CostDataset to an uninterrupted run.
+ */
+CostDataset buildDatasetResumable(Algorithm alg,
+                                  const std::vector<SparseMatrix>& corpus,
+                                  const MeasurementBackend& oracle,
+                                  const LabelingOptions& opt);
 
 } // namespace waco

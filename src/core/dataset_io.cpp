@@ -1,13 +1,16 @@
 #include "core/dataset_io.hpp"
 
 #include <fstream>
+#include <sstream>
 
 namespace waco {
 
 namespace {
 
-constexpr u32 kMagic = 0x57444154; // "WDAT"
-constexpr u32 kVersion = 2;
+constexpr u32 kMagic = 0x57444154;     // "WDAT"
+constexpr u32 kCkptMagic = 0x57434b50; // "WCKP"
+constexpr u32 kFooterMagic = 0x57454e44; // "WEND"
+constexpr u32 kVersion = 3;
 
 template <typename T>
 void
@@ -66,6 +69,137 @@ readVec(std::istream& in)
     return v;
 }
 
+void
+writeEntry(std::ostream& out, const DatasetEntry& e)
+{
+    writeString(out, e.name);
+    writePod<unsigned char>(out, e.is3d ? 1 : 0);
+    if (e.is3d) {
+        writePod<u32>(out, e.tensor.dimI());
+        writePod<u32>(out, e.tensor.dimK());
+        writePod<u32>(out, e.tensor.dimL());
+        writeVec(out, e.tensor.iIndices());
+        writeVec(out, e.tensor.kIndices());
+        writeVec(out, e.tensor.lIndices());
+        writeVec(out, e.tensor.values());
+    } else {
+        writePod<u32>(out, e.matrix.rows());
+        writePod<u32>(out, e.matrix.cols());
+        writeVec(out, e.matrix.rowIndices());
+        writeVec(out, e.matrix.colIndices());
+        writeVec(out, e.matrix.values());
+    }
+    writePod<u64>(out, e.samples.size());
+    for (const auto& s : e.samples) {
+        writeSchedule(out, s.schedule);
+        writePod<double>(out, s.runtime);
+    }
+}
+
+DatasetEntry
+readEntry(std::istream& in, Algorithm alg)
+{
+    DatasetEntry e;
+    e.name = readString(in);
+    e.is3d = readPod<unsigned char>(in) != 0;
+    if (e.is3d) {
+        u32 di = readPod<u32>(in);
+        u32 dk = readPod<u32>(in);
+        u32 dl = readPod<u32>(in);
+        auto is = readVec<u32>(in);
+        auto ks = readVec<u32>(in);
+        auto ls = readVec<u32>(in);
+        auto vs = readVec<float>(in);
+        std::vector<Quad> q(is.size());
+        for (std::size_t x = 0; x < is.size(); ++x)
+            q[x] = {is[x], ks[x], ls[x], vs[x]};
+        e.tensor = Sparse3Tensor(di, dk, dl, std::move(q), e.name);
+        e.shape = ProblemShape::forTensor3(alg, di, dk, dl);
+        e.pattern = PatternInput::fromTensor3(e.tensor);
+    } else {
+        u32 rows = readPod<u32>(in);
+        u32 cols = readPod<u32>(in);
+        auto ri = readVec<u32>(in);
+        auto ci = readVec<u32>(in);
+        auto vs = readVec<float>(in);
+        std::vector<Triplet> t(ri.size());
+        for (std::size_t x = 0; x < ri.size(); ++x)
+            t[x] = {ri[x], ci[x], vs[x]};
+        e.matrix = SparseMatrix(rows, cols, std::move(t), e.name);
+        e.shape = ProblemShape::forMatrix(alg, rows, cols);
+        e.pattern = PatternInput::fromMatrix(e.matrix);
+    }
+    u64 n_samples = readPod<u64>(in);
+    fatalIf(n_samples > (1u << 24), "implausible sample count");
+    for (u64 x = 0; x < n_samples; ++x) {
+        ScheduleSample s;
+        s.schedule = readSchedule(in);
+        s.runtime = readPod<double>(in);
+        e.samples.push_back(std::move(s));
+    }
+    return e;
+}
+
+/** FNV-1a over a byte range; the footer checksum. */
+u64
+fnv1a(const char* data, std::size_t n)
+{
+    u64 h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+constexpr std::size_t kFooterBytes = sizeof(u32) + sizeof(u64);
+
+/** Atomically-ish write payload + checksum footer to @p path. */
+void
+writeChecksummed(const std::string& payload, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    fatalIf(!out, "cannot open for writing: " + path);
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    writePod(out, kFooterMagic);
+    writePod(out, fnv1a(payload.data(), payload.size()));
+    fatalIf(!out, "write failed: " + path);
+}
+
+/** Read a whole checksummed file, verify the footer, return the payload. */
+std::string
+readChecksummed(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open for reading: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    fatalIf(!in && !in.eof(), "read failed: " + path);
+    std::string all = buf.str();
+    fatalIf(all.size() < kFooterBytes,
+            "truncated dataset file (no footer): " + path);
+    std::size_t payload_size = all.size() - kFooterBytes;
+    std::istringstream foot(all.substr(payload_size));
+    fatalIf(readPod<u32>(foot) != kFooterMagic,
+            "truncated or corrupt dataset file (bad footer): " + path);
+    u64 want = readPod<u64>(foot);
+    fatalIf(fnv1a(all.data(), payload_size) != want,
+            "dataset file checksum mismatch (corrupt): " + path);
+    all.resize(payload_size);
+    return all;
+}
+
+/** After parsing, every payload byte must have been consumed. */
+void
+checkFullyConsumed(std::istream& in, std::size_t payload_size,
+                   const std::string& path)
+{
+    auto pos = in.tellg();
+    fatalIf(pos < 0 ||
+                static_cast<std::size_t>(pos) != payload_size,
+            "trailing bytes in dataset file: " + path);
+}
+
 } // namespace
 
 void
@@ -115,46 +249,23 @@ readSchedule(std::istream& in)
 void
 saveDataset(const CostDataset& ds, const std::string& path)
 {
-    std::ofstream out(path, std::ios::binary);
-    fatalIf(!out, "cannot open for writing: " + path);
+    std::ostringstream out(std::ios::binary);
     writePod(out, kMagic);
     writePod(out, kVersion);
     writePod<u32>(out, static_cast<u32>(ds.alg));
     writePod<u64>(out, ds.entries.size());
-    for (const auto& e : ds.entries) {
-        writeString(out, e.name);
-        writePod<unsigned char>(out, e.is3d ? 1 : 0);
-        if (e.is3d) {
-            writePod<u32>(out, e.tensor.dimI());
-            writePod<u32>(out, e.tensor.dimK());
-            writePod<u32>(out, e.tensor.dimL());
-            writeVec(out, e.tensor.iIndices());
-            writeVec(out, e.tensor.kIndices());
-            writeVec(out, e.tensor.lIndices());
-            writeVec(out, e.tensor.values());
-        } else {
-            writePod<u32>(out, e.matrix.rows());
-            writePod<u32>(out, e.matrix.cols());
-            writeVec(out, e.matrix.rowIndices());
-            writeVec(out, e.matrix.colIndices());
-            writeVec(out, e.matrix.values());
-        }
-        writePod<u64>(out, e.samples.size());
-        for (const auto& s : e.samples) {
-            writeSchedule(out, s.schedule);
-            writePod<double>(out, s.runtime);
-        }
-    }
+    for (const auto& e : ds.entries)
+        writeEntry(out, e);
     writeVec(out, ds.trainIds);
     writeVec(out, ds.valIds);
-    fatalIf(!out, "write failed: " + path);
+    writeChecksummed(out.str(), path);
 }
 
 CostDataset
 loadDataset(const std::string& path)
 {
-    std::ifstream in(path, std::ios::binary);
-    fatalIf(!in, "cannot open for reading: " + path);
+    std::string payload = readChecksummed(path);
+    std::istringstream in(payload, std::ios::binary);
     fatalIf(readPod<u32>(in) != kMagic, "not a WACO dataset: " + path);
     fatalIf(readPod<u32>(in) != kVersion,
             "dataset version mismatch: " + path);
@@ -162,50 +273,61 @@ loadDataset(const std::string& path)
     ds.alg = static_cast<Algorithm>(readPod<u32>(in));
     u64 n_entries = readPod<u64>(in);
     fatalIf(n_entries > (1u << 24), "implausible dataset entry count");
-    for (u64 n = 0; n < n_entries; ++n) {
-        DatasetEntry e;
-        e.name = readString(in);
-        e.is3d = readPod<unsigned char>(in) != 0;
-        if (e.is3d) {
-            u32 di = readPod<u32>(in);
-            u32 dk = readPod<u32>(in);
-            u32 dl = readPod<u32>(in);
-            auto is = readVec<u32>(in);
-            auto ks = readVec<u32>(in);
-            auto ls = readVec<u32>(in);
-            auto vs = readVec<float>(in);
-            std::vector<Quad> q(is.size());
-            for (std::size_t x = 0; x < is.size(); ++x)
-                q[x] = {is[x], ks[x], ls[x], vs[x]};
-            e.tensor = Sparse3Tensor(di, dk, dl, std::move(q), e.name);
-            e.shape = ProblemShape::forTensor3(ds.alg, di, dk, dl);
-            e.pattern = PatternInput::fromTensor3(e.tensor);
-        } else {
-            u32 rows = readPod<u32>(in);
-            u32 cols = readPod<u32>(in);
-            auto ri = readVec<u32>(in);
-            auto ci = readVec<u32>(in);
-            auto vs = readVec<float>(in);
-            std::vector<Triplet> t(ri.size());
-            for (std::size_t x = 0; x < ri.size(); ++x)
-                t[x] = {ri[x], ci[x], vs[x]};
-            e.matrix = SparseMatrix(rows, cols, std::move(t), e.name);
-            e.shape = ProblemShape::forMatrix(ds.alg, rows, cols);
-            e.pattern = PatternInput::fromMatrix(e.matrix);
-        }
-        u64 n_samples = readPod<u64>(in);
-        fatalIf(n_samples > (1u << 24), "implausible sample count");
-        for (u64 x = 0; x < n_samples; ++x) {
-            ScheduleSample s;
-            s.schedule = readSchedule(in);
-            s.runtime = readPod<double>(in);
-            e.samples.push_back(std::move(s));
-        }
-        ds.entries.push_back(std::move(e));
-    }
+    for (u64 n = 0; n < n_entries; ++n)
+        ds.entries.push_back(readEntry(in, ds.alg));
     ds.trainIds = readVec<u32>(in);
     ds.valIds = readVec<u32>(in);
+    checkFullyConsumed(in, payload.size(), path);
     return ds;
+}
+
+void
+saveLabelCheckpoint(const LabelCheckpoint& ckpt, u64 corpus_fingerprint,
+                    const std::string& path)
+{
+    std::ostringstream out(std::ios::binary);
+    writePod(out, kCkptMagic);
+    writePod(out, kVersion);
+    writePod<u64>(out, corpus_fingerprint);
+    writePod<u32>(out, ckpt.completed);
+    writePod<u32>(out, static_cast<u32>(ckpt.partial.alg));
+    writePod<u64>(out, ckpt.partial.entries.size());
+    for (const auto& e : ckpt.partial.entries)
+        writeEntry(out, e);
+    writeChecksummed(out.str(), path);
+}
+
+bool
+tryLoadLabelCheckpoint(const std::string& path, u64 corpus_fingerprint,
+                       LabelCheckpoint* out)
+{
+    {
+        std::ifstream probe(path, std::ios::binary);
+        if (!probe)
+            return false; // no checkpoint yet: fresh start
+    }
+    std::string payload = readChecksummed(path);
+    std::istringstream in(payload, std::ios::binary);
+    fatalIf(readPod<u32>(in) != kCkptMagic,
+            "not a WACO labeling checkpoint: " + path);
+    fatalIf(readPod<u32>(in) != kVersion,
+            "labeling checkpoint version mismatch: " + path);
+    fatalIf(readPod<u64>(in) != corpus_fingerprint,
+            "labeling checkpoint was written for a different corpus or "
+            "options: " + path);
+    LabelCheckpoint ckpt;
+    ckpt.completed = readPod<u32>(in);
+    ckpt.partial.alg = static_cast<Algorithm>(readPod<u32>(in));
+    u64 n_entries = readPod<u64>(in);
+    fatalIf(n_entries > (1u << 24), "implausible checkpoint entry count");
+    for (u64 n = 0; n < n_entries; ++n)
+        ckpt.partial.entries.push_back(readEntry(in, ckpt.partial.alg));
+    checkFullyConsumed(in, payload.size(), path);
+    fatalIf(ckpt.partial.entries.size() > ckpt.completed,
+            "labeling checkpoint has more entries than completed items: " +
+                path);
+    *out = std::move(ckpt);
+    return true;
 }
 
 } // namespace waco

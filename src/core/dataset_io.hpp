@@ -13,12 +13,45 @@
 
 namespace waco {
 
-/** Serialize a dataset (matrices/tensors + labeled schedules) to @p path. */
+/** Serialize a dataset (matrices/tensors + labeled schedules) to @p path.
+ *  Files are versioned and end in a checksum footer, so truncation or
+ *  corruption is detected at load time instead of silently mis-parsed. */
 void saveDataset(const CostDataset& ds, const std::string& path);
 
 /** Load a dataset saved by saveDataset.
- *  @throws FatalError on I/O errors or format mismatch. */
+ *  @throws FatalError on I/O errors, format mismatch, truncation, trailing
+ *  bytes, or checksum mismatch. */
 CostDataset loadDataset(const std::string& path);
+
+/**
+ * A partially-labeled corpus: the first @p completed corpus items have been
+ * processed (labeled or dropped) and their surviving entries are in
+ * @p partial. Periodically flushed to disk by buildDatasetResumable so a
+ * killed labeling run loses at most one flush interval of oracle work.
+ */
+struct LabelCheckpoint
+{
+    /** Number of corpus items fully processed (not entries — items with
+     *  too few valid schedules are processed but dropped). */
+    u32 completed = 0;
+    /** Labeled entries of the completed prefix; train/val ids unset. */
+    CostDataset partial;
+};
+
+/** Write a labeling checkpoint (same checksum-footer protection as
+ *  saveDataset). @p corpus_fingerprint ties the checkpoint to one exact
+ *  (corpus, options) pair. */
+void saveLabelCheckpoint(const LabelCheckpoint& ckpt, u64 corpus_fingerprint,
+                         const std::string& path);
+
+/**
+ * Load a labeling checkpoint into @p out.
+ * @return false when @p path does not exist (fresh start).
+ * @throws FatalError when the file exists but is corrupt, truncated, or was
+ * written for a different corpus/options fingerprint.
+ */
+bool tryLoadLabelCheckpoint(const std::string& path, u64 corpus_fingerprint,
+                            LabelCheckpoint* out);
 
 /** Serialize one SuperSchedule to a compact binary blob (also used by the
  *  dataset format). */

@@ -1,5 +1,9 @@
 #include "core/trainer.hpp"
 
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
 #include "util/timer.hpp"
 
 namespace waco {
@@ -33,6 +37,21 @@ trainCostModel(WacoCostModel& model, const CostDataset& dataset,
     std::vector<SuperSchedule> schedules;
     std::vector<double> runtimes;
 
+    // Best-epoch tracking for checkpointing and divergence rollback. The
+    // in-memory snapshot is authoritative; checkpointPath additionally
+    // persists it through nn::saveParams so interrupted runs can reload.
+    double best_metric = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<float>> best_params;
+
+    auto rollback = [&] {
+        if (best_params.empty())
+            return;
+        if (!opt.checkpointPath.empty())
+            model.load(opt.checkpointPath);
+        else
+            model.restoreParams(best_params);
+    };
+
     for (u32 epoch = 0; epoch < opt.epochs; ++epoch) {
         Timer timer;
         EpochStats stats;
@@ -44,10 +63,20 @@ trainCostModel(WacoCostModel& model, const CostDataset& dataset,
         for (u32 id : order) {
             drawBatch(dataset.entries[id], opt.batchSchedules, rng, schedules,
                       runtimes);
-            train_loss += model.trainStep(dataset.entries[id].pattern,
-                                          schedules, runtimes, opt.useL2);
+            auto step = model.trainStepGuarded(dataset.entries[id].pattern,
+                                               schedules, runtimes, opt.useL2,
+                                               opt.clipNorm);
+            if (step.applied) {
+                train_loss += step.loss;
+            } else {
+                ++stats.skippedSteps;
+                logWarn("skipping non-finite training step (matrix " +
+                        dataset.entries[id].name + ", epoch " +
+                        std::to_string(epoch) + ")");
+            }
         }
-        stats.trainLoss = order.empty() ? 0.0 : train_loss / order.size();
+        u32 applied = static_cast<u32>(order.size()) - stats.skippedSteps;
+        stats.trainLoss = applied == 0 ? 0.0 : train_loss / applied;
 
         double val_loss = 0.0, val_acc = 0.0;
         Rng val_rng(opt.seed + 1); // fixed batches across epochs
@@ -65,11 +94,39 @@ trainCostModel(WacoCostModel& model, const CostDataset& dataset,
         }
         stats.valLoss = val_loss;
         stats.valOrderAccuracy = val_acc;
+
+        // Val loss is the checkpoint metric; fall back to train loss for
+        // datasets too small to hold out a validation split.
+        double metric = dataset.valIds.empty() ? stats.trainLoss : val_loss;
+        bool diverged =
+            !std::isfinite(metric) ||
+            (opt.divergeFactor > 0.0 && std::isfinite(best_metric) &&
+             metric > opt.divergeFactor * best_metric);
+        if (!diverged && metric <= best_metric) {
+            best_metric = metric;
+            best_params = model.snapshotParams();
+            if (!opt.checkpointPath.empty())
+                model.save(opt.checkpointPath);
+        }
+
         stats.seconds = timer.seconds();
+        if (diverged && opt.divergeFactor > 0.0) {
+            stats.rolledBack = true;
+            logWarn("divergence at epoch " + std::to_string(epoch) +
+                    " (val loss " + std::to_string(val_loss) +
+                    "); rolling back to best checkpoint");
+            rollback();
+            history.push_back(stats);
+            if (on_epoch)
+                on_epoch(stats);
+            break;
+        }
         history.push_back(stats);
         if (on_epoch)
             on_epoch(stats);
     }
+    if (opt.restoreBest && !history.empty() && !history.back().rolledBack)
+        rollback();
     return history;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/dataset.hpp"
@@ -22,6 +23,13 @@ struct EpochStats
     double valLoss = 0.0;
     double valOrderAccuracy = 0.0;
     double seconds = 0.0;
+
+    // --- fault-tolerance diagnostics ---
+    /** Steps vetoed because the loss or gradients were non-finite. */
+    u32 skippedSteps = 0;
+    /** True when this epoch triggered a divergence rollback (training
+     *  restored the best-epoch parameters and stopped). */
+    bool rolledBack = false;
 };
 
 /** Training options. */
@@ -31,6 +39,21 @@ struct TrainOptions
     u32 batchSchedules = 16; ///< Schedules ranked together per matrix step.
     bool useL2 = false;      ///< Ablation: L2 regression instead of ranking.
     u64 seed = 7;
+
+    // --- fault tolerance (non-finite steps are always skipped) ---
+    /** Global gradient-norm clip; 0 disables clipping. */
+    double clipNorm = 0.0;
+    /** Divergence trigger: rollback + stop when the epoch's validation
+     *  loss is non-finite or exceeds divergeFactor * best-so-far val loss.
+     *  0 disables divergence detection. */
+    double divergeFactor = 0.0;
+    /** When non-empty, the best-val-loss parameters are checkpointed here
+     *  (nn::saveParams format) every time they improve, and rollback
+     *  restores from this file (nn::loadParams). */
+    std::string checkpointPath;
+    /** Restore the best-epoch parameters after the last epoch even without
+     *  a divergence (early-stopping-style best-checkpoint training). */
+    bool restoreBest = false;
 };
 
 /**

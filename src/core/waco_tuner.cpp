@@ -20,7 +20,8 @@ WacoTuner::train(const std::vector<SparseMatrix>& corpus)
 {
     logInfo("building " + algorithmName(alg_) + " dataset from " +
             std::to_string(corpus.size()) + " matrices");
-    dataset_ = buildDataset(alg_, corpus, oracle_, opt_.schedulesPerMatrix,
+    RobustMeasurer robust(backend(), opt_.retry);
+    dataset_ = buildDataset(alg_, corpus, robust, opt_.schedulesPerMatrix,
                             opt_.seed);
     return trainOnDataset(dataset_);
 }
@@ -28,7 +29,8 @@ WacoTuner::train(const std::vector<SparseMatrix>& corpus)
 std::vector<EpochStats>
 WacoTuner::train3d(const std::vector<Sparse3Tensor>& corpus)
 {
-    dataset_ = buildDataset3d(alg_, corpus, oracle_, opt_.schedulesPerMatrix,
+    RobustMeasurer robust(backend(), opt_.retry);
+    dataset_ = buildDataset3d(alg_, corpus, robust, opt_.schedulesPerMatrix,
                               opt_.seed);
     return trainOnDataset(dataset_);
 }
@@ -128,9 +130,15 @@ WacoTuner::tuneImpl(
     }
     out.remeasureSeconds = measure_timer.seconds();
     if (!std::isfinite(best)) {
-        // Every candidate was invalid for this shape; fall back to default.
+        // Every candidate came back invalid or faulted: degrade to the
+        // known-safe CSR-row-parallel default rather than returning an
+        // invalid winner.
+        out.fellBack = true;
         out.best = defaultSchedule(shape);
         out.bestMeasured = measure(out.best);
+        logWarn("all top-" + std::to_string(out.topK.size()) +
+                " remeasurements invalid; falling back to the default "
+                "CSR schedule");
     }
     out.convertSeconds = oracle_.conversionSeconds(
         pattern.coords.size(), out.bestMeasured.storedValues);
@@ -142,9 +150,12 @@ WacoTuner::tune(const SparseMatrix& m)
 {
     auto shape = ProblemShape::forMatrix(alg_, m.rows(), m.cols());
     auto pattern = PatternInput::fromMatrix(m);
-    return tuneImpl(pattern, shape, [&](const SuperSchedule& s) {
-        return oracle_.measure(m, shape, s);
+    RobustMeasurer robust(backend(), opt_.retry);
+    auto out = tuneImpl(pattern, shape, [&](const SuperSchedule& s) {
+        return robust.measure(m, shape, s);
     });
+    out.remeasureStats = robust.stats();
+    return out;
 }
 
 TuneOutcome
@@ -152,9 +163,12 @@ WacoTuner::tune3d(const Sparse3Tensor& t)
 {
     auto shape = ProblemShape::forTensor3(alg_, t.dimI(), t.dimK(), t.dimL());
     auto pattern = PatternInput::fromTensor3(t);
-    return tuneImpl(pattern, shape, [&](const SuperSchedule& s) {
-        return oracle_.measure(t, shape, s);
+    RobustMeasurer robust(backend(), opt_.retry);
+    auto out = tuneImpl(pattern, shape, [&](const SuperSchedule& s) {
+        return robust.measure(t, shape, s);
     });
+    out.remeasureStats = robust.stats();
+    return out;
 }
 
 } // namespace waco

@@ -22,6 +22,7 @@
 #include "core/trainer.hpp"
 #include "model/waco_model.hpp"
 #include "perfmodel/cost_model.hpp"
+#include "perfmodel/robust_measure.hpp"
 
 namespace waco {
 
@@ -37,6 +38,10 @@ struct WacoOptions
     u32 efSearch = 40;
     u32 topK = 10;               ///< Re-measured candidates (Section 5.2).
     u64 seed = 42;
+    /** Retry/denoise policy for every measurement (labeling + top-k
+     *  remeasurement). The default (1 sample, 3 attempts) is a no-op on a
+     *  healthy backend; raise medianOf when the backend is noisy. */
+    RetryPolicy retry = {};
 };
 
 /** Result of tuning one input. */
@@ -52,6 +57,12 @@ struct TuneOutcome
     double remeasureSeconds = 0.0;  ///< Top-k validation on "hardware".
     double convertSeconds = 0.0;    ///< COO -> chosen format conversion.
     u64 costEvaluations = 0;        ///< Predictor-head calls during ANNS.
+
+    /** Retry/fault/timeout counters of the top-k remeasurement pass. */
+    MeasureStats remeasureStats;
+    /** True when every top-k candidate came back invalid or faulted and
+     *  the tuner degraded to the CSR-row-parallel default schedule. */
+    bool fellBack = false;
 
     /** Total tuning overhead T_tuning of Section 5.6. */
     double
@@ -70,6 +81,24 @@ class WacoTuner
     Algorithm algorithm() const { return alg_; }
     const RuntimeOracle& oracle() const { return oracle_; }
     WacoCostModel& model() { return *model_; }
+
+    /**
+     * Route all measurements (corpus labeling and top-k remeasurement)
+     * through @p backend instead of the built-in deterministic oracle —
+     * e.g. a FaultyOracle for fault-injection testing, or a real hardware
+     * harness. @p backend must outlive this tuner. Measurements are always
+     * wrapped in a RobustMeasurer configured by WacoOptions::retry.
+     */
+    void setMeasurementBackend(const MeasurementBackend& backend)
+    {
+        backend_ = &backend;
+    }
+
+    /** The active measurement backend (defaults to the built-in oracle). */
+    const MeasurementBackend& backend() const
+    {
+        return backend_ ? *backend_ : oracle_;
+    }
 
     /** Build dataset from a 2D corpus, train the model, build the graph. */
     std::vector<EpochStats> train(const std::vector<SparseMatrix>& corpus);
@@ -109,6 +138,7 @@ class WacoTuner
 
     Algorithm alg_;
     RuntimeOracle oracle_;
+    const MeasurementBackend* backend_ = nullptr; ///< null = oracle_.
     WacoOptions opt_;
     std::unique_ptr<WacoCostModel> model_;
     CostDataset dataset_;

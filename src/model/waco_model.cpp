@@ -1,5 +1,7 @@
 #include "model/waco_model.hpp"
 
+#include <cmath>
+
 #include "nn/serialize.hpp"
 
 namespace waco {
@@ -91,12 +93,83 @@ WacoCostModel::trainStep(const PatternInput& in,
                          const std::vector<SuperSchedule>& batch,
                          const std::vector<double>& runtimes, bool use_l2)
 {
+    return trainStepGuarded(in, batch, runtimes, use_l2, 0.0).loss;
+}
+
+WacoCostModel::StepOutcome
+WacoCostModel::trainStepGuarded(const PatternInput& in,
+                                const std::vector<SuperSchedule>& batch,
+                                const std::vector<double>& runtimes,
+                                bool use_l2, double clip_norm)
+{
     auto st = forwardFull(in, batch);
     auto loss = use_l2 ? nn::l2LogLoss(st.pred, runtimes)
                        : nn::pairwiseHingeLoss(st.pred, runtimes);
+    StepOutcome out;
+    out.loss = loss.loss;
+    if (!std::isfinite(loss.loss)) {
+        // Poisoned label or diverged forward pass: no backward, no update.
+        opt_->zeroGrad();
+        out.applied = false;
+        return out;
+    }
     backwardFull(loss.dPred);
+    out.gradNorm = opt_->gradNorm();
+    if (!std::isfinite(out.gradNorm)) {
+        opt_->zeroGrad();
+        out.applied = false;
+        return out;
+    }
+    if (clip_norm > 0.0)
+        opt_->clipGradNorm(clip_norm);
     opt_->step();
-    return loss.loss;
+    return out;
+}
+
+std::vector<std::vector<float>>
+WacoCostModel::snapshotParams()
+{
+    std::vector<nn::Param*> params;
+    extractor_->collectParams(params);
+    embedder_->collectParams(params);
+    predictor_.collectParams(params);
+    std::vector<std::vector<float>> snap;
+    snap.reserve(params.size());
+    for (const nn::Param* p : params)
+        snap.push_back(p->w.v);
+    return snap;
+}
+
+void
+WacoCostModel::restoreParams(const std::vector<std::vector<float>>& snap)
+{
+    std::vector<nn::Param*> params;
+    extractor_->collectParams(params);
+    embedder_->collectParams(params);
+    predictor_.collectParams(params);
+    panicIf(snap.size() != params.size(),
+            "parameter snapshot count mismatch");
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        panicIf(snap[i].size() != params[i]->w.v.size(),
+                "parameter snapshot shape mismatch");
+        params[i]->w.v = snap[i];
+    }
+}
+
+bool
+WacoCostModel::paramsFinite()
+{
+    std::vector<nn::Param*> params;
+    extractor_->collectParams(params);
+    embedder_->collectParams(params);
+    predictor_.collectParams(params);
+    for (const nn::Param* p : params) {
+        for (float x : p->w.v) {
+            if (!std::isfinite(x))
+                return false;
+        }
+    }
+    return true;
 }
 
 double

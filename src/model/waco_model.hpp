@@ -56,6 +56,16 @@ class WacoCostModel
     nn::Mat predictFromEmbeddings(const nn::Mat& feature,
                                   const nn::Mat& embeddings);
 
+    /** Outcome of one guarded optimizer step. */
+    struct StepOutcome
+    {
+        double loss = 0.0;
+        /** Pre-clip global gradient norm (NaN/Inf when poisoned). */
+        double gradNorm = 0.0;
+        /** False when the update was vetoed (non-finite loss/gradients). */
+        bool applied = true;
+    };
+
     /**
      * One optimizer step on a (matrix, schedule batch) group: forward,
      * pairwise hinge loss (or L2 for the ablation), backward, Adam update.
@@ -65,6 +75,26 @@ class WacoCostModel
                      const std::vector<SuperSchedule>& batch,
                      const std::vector<double>& runtimes,
                      bool use_l2 = false);
+
+    /**
+     * trainStep with fault guards: a non-finite loss or gradient norm
+     * skips the Adam update entirely (gradients are zeroed, weights and
+     * optimizer moments untouched), and when @p clip_norm > 0 the global
+     * gradient norm is clipped before the update.
+     */
+    StepOutcome trainStepGuarded(const PatternInput& in,
+                                 const std::vector<SuperSchedule>& batch,
+                                 const std::vector<double>& runtimes,
+                                 bool use_l2, double clip_norm);
+
+    /** Copy of every parameter tensor, for in-memory rollback. */
+    std::vector<std::vector<float>> snapshotParams();
+
+    /** Restore a snapshotParams() copy (shapes must match). */
+    void restoreParams(const std::vector<std::vector<float>>& snap);
+
+    /** True when every weight is finite. */
+    bool paramsFinite();
 
     /** Loss without any update (validation). */
     double evalLoss(const PatternInput& in,

@@ -43,4 +43,29 @@ Adam::zeroGrad()
         p->zeroGrad();
 }
 
+double
+Adam::gradNorm() const
+{
+    double sq = 0.0;
+    for (const Param* p : params_) {
+        for (float g : p->g.v)
+            sq += static_cast<double>(g) * g;
+    }
+    return std::sqrt(sq);
+}
+
+double
+Adam::clipGradNorm(double max_norm)
+{
+    double norm = gradNorm();
+    if (max_norm <= 0.0 || !(norm > max_norm))
+        return norm; // also leaves non-finite norms for the caller to veto
+    double scale = max_norm / norm;
+    for (Param* p : params_) {
+        for (float& g : p->g.v)
+            g = static_cast<float>(g * scale);
+    }
+    return norm;
+}
+
 } // namespace waco::nn

@@ -24,6 +24,16 @@ class Adam
     /** Zero all gradients without updating. */
     void zeroGrad();
 
+    /** Global L2 norm over all accumulated gradients. NaN/Inf gradients
+     *  make the result non-finite, which is how poisoned steps are
+     *  detected before they reach the weights. */
+    double gradNorm() const;
+
+    /** Scale all gradients so their global norm is at most @p max_norm
+     *  (no-op when already within bounds or max_norm <= 0).
+     *  @return the pre-clip norm. */
+    double clipGradNorm(double max_norm);
+
     double learningRate() const { return lr_; }
     void setLearningRate(double lr) { lr_ = lr; }
 

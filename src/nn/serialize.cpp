@@ -42,12 +42,20 @@ loadParams(const std::vector<Param*>& params, const std::string& path)
         u32 rows = 0, cols = 0;
         in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
         in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+        fatalIf(!in, "truncated model file: " + path);
         fatalIf(rows != p->w.rows || cols != p->w.cols,
                 "parameter shape mismatch: " + path);
         in.read(reinterpret_cast<char*>(p->w.v.data()),
                 static_cast<std::streamsize>(p->w.v.size() * sizeof(float)));
+        fatalIf(!in || in.gcount() != static_cast<std::streamsize>(
+                                          p->w.v.size() * sizeof(float)),
+                "truncated model file: " + path);
     }
-    fatalIf(!in, "read failed: " + path);
+    // A file longer than the model it claims to hold is just as corrupt as
+    // a truncated one: it would silently load a partially-garbage model if
+    // the caller's parameter list were shorter than the writer's.
+    in.peek();
+    fatalIf(!in.eof(), "trailing bytes in model file: " + path);
 }
 
 } // namespace waco::nn

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <array>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -55,8 +56,46 @@ struct Measurement
     u64 formatBytes = 0;           ///< Storage footprint of the format.
 };
 
+/**
+ * Thrown by measurement backends for *transient* failures (the analogue of
+ * a hardware run crashing or being evicted): callers that care about
+ * robustness catch it and retry; everything else treats it as fatal.
+ */
+class MeasurementError : public std::runtime_error
+{
+  public:
+    explicit MeasurementError(const std::string& msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Anything that can "run" a (input, shape, schedule) triple and report a
+ * runtime: the deterministic RuntimeOracle, a FaultyOracle decorator that
+ * injects noise/failures, or a RobustMeasurer that retries another backend.
+ * Implementations may throw MeasurementError for transient failures.
+ */
+class MeasurementBackend
+{
+  public:
+    virtual ~MeasurementBackend() = default;
+
+    /** Measure a 2D kernel (SpMV / SpMM / SDDMM). */
+    virtual Measurement measure(const SparseMatrix& m,
+                                const ProblemShape& shape,
+                                const SuperSchedule& s) const = 0;
+
+    /** Measure MTTKRP on a 3D tensor. */
+    virtual Measurement measure(const Sparse3Tensor& t,
+                                const ProblemShape& shape,
+                                const SuperSchedule& s) const = 0;
+
+    /** Total measurement count so far (tuning-cost accounting, Fig. 17). */
+    virtual u64 measurementCount() const = 0;
+};
+
 /** Deterministic stand-in for running the generated kernel on hardware. */
-class RuntimeOracle
+class RuntimeOracle : public MeasurementBackend
 {
   public:
     explicit RuntimeOracle(MachineConfig machine,
@@ -68,11 +107,11 @@ class RuntimeOracle
 
     /** Measure a 2D kernel (SpMV / SpMM / SDDMM). */
     Measurement measure(const SparseMatrix& m, const ProblemShape& shape,
-                        const SuperSchedule& s) const;
+                        const SuperSchedule& s) const override;
 
     /** Measure MTTKRP on a 3D tensor. */
     Measurement measure(const Sparse3Tensor& t, const ProblemShape& shape,
-                        const SuperSchedule& s) const;
+                        const SuperSchedule& s) const override;
 
     /**
      * Estimated cost of converting canonical COO into the schedule's format
@@ -81,7 +120,7 @@ class RuntimeOracle
     double conversionSeconds(u64 nnz, u64 stored_values) const;
 
     /** Total measurement count so far (tuning-cost accounting, Fig. 17). */
-    u64 measurementCount() const { return measurements_; }
+    u64 measurementCount() const override { return measurements_; }
 
   private:
     Measurement measureImpl(const std::vector<std::array<u32, 3>>& coords,

@@ -1,0 +1,99 @@
+#include "perfmodel/robust_measure.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/common.hpp"
+
+namespace waco {
+
+RobustMeasurer::RobustMeasurer(const MeasurementBackend& backend,
+                               RetryPolicy policy)
+    : backend_(backend), policy_(policy)
+{
+    fatalIf(policy_.maxAttempts == 0, "RetryPolicy.maxAttempts must be >= 1");
+    fatalIf(policy_.medianOf == 0, "RetryPolicy.medianOf must be >= 1");
+}
+
+Measurement
+RobustMeasurer::measureRobust(
+    const std::function<Measurement()>& attempt) const
+{
+    ++stats_.calls;
+    std::vector<Measurement> samples;
+    Measurement last_failure;
+    last_failure.seconds = std::numeric_limits<double>::infinity();
+    last_failure.valid = false;
+    last_failure.invalidReason = "no attempt made";
+
+    for (u32 sample = 0; sample < policy_.medianOf; ++sample) {
+        bool got_sample = false;
+        for (u32 try_n = 0; try_n < policy_.maxAttempts; ++try_n) {
+            if (try_n > 0) {
+                ++stats_.retries;
+                // Simulated exponential backoff: 1, 2, 4, ... units per
+                // consecutive retry. Counted, never slept.
+                stats_.backoffUnits += 1ull << (try_n - 1);
+            }
+            ++stats_.attempts;
+            Measurement m;
+            try {
+                m = attempt();
+            } catch (const MeasurementError& e) {
+                ++stats_.faults;
+                last_failure.invalidReason = e.what();
+                continue;
+            }
+            if (!m.valid) {
+                if (m.invalidReason == "timeout")
+                    ++stats_.timeouts;
+                else
+                    ++stats_.invalid;
+                last_failure = m;
+                continue;
+            }
+            samples.push_back(std::move(m));
+            got_sample = true;
+            break;
+        }
+        // One exhausted sample means the backend is persistently failing
+        // for this schedule; taking more samples would not help.
+        if (!got_sample)
+            break;
+    }
+
+    if (samples.empty()) {
+        ++stats_.discarded;
+        return last_failure;
+    }
+
+    // Median-of-k denoising: report the sample with the median runtime so
+    // the diagnostic breakdown stays internally consistent, but pin the
+    // headline seconds to the exact median (mean of middles when even).
+    std::sort(samples.begin(), samples.end(),
+              [](const Measurement& a, const Measurement& b) {
+                  return a.seconds < b.seconds;
+              });
+    Measurement out = samples[(samples.size() - 1) / 2];
+    if (samples.size() % 2 == 0) {
+        out.seconds = 0.5 * (samples[samples.size() / 2 - 1].seconds +
+                             samples[samples.size() / 2].seconds);
+    }
+    return out;
+}
+
+Measurement
+RobustMeasurer::measure(const SparseMatrix& m, const ProblemShape& shape,
+                        const SuperSchedule& s) const
+{
+    return measureRobust([&] { return backend_.measure(m, shape, s); });
+}
+
+Measurement
+RobustMeasurer::measure(const Sparse3Tensor& t, const ProblemShape& shape,
+                        const SuperSchedule& s) const
+{
+    return measureRobust([&] { return backend_.measure(t, shape, s); });
+}
+
+} // namespace waco

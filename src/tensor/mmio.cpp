@@ -1,6 +1,8 @@
 #include "tensor/mmio.hpp"
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/common.hpp"
@@ -32,8 +34,12 @@ readMatrixMarket(std::istream& in, const std::string& name)
 
     std::istringstream sizes(line);
     u64 rows = 0, cols = 0, entries = 0;
-    sizes >> rows >> cols >> entries;
+    fatalIf(!(sizes >> rows >> cols >> entries),
+            "unparseable MatrixMarket size line: '" + line + "'");
     fatalIf(rows == 0 || cols == 0, "bad MatrixMarket size line");
+    constexpr u64 kMaxDim = std::numeric_limits<u32>::max();
+    fatalIf(rows > kMaxDim || cols > kMaxDim,
+            "MatrixMarket dimensions overflow 32-bit indices");
 
     std::vector<Triplet> t;
     t.reserve(symmetric ? entries * 2 : entries);
@@ -42,9 +48,14 @@ readMatrixMarket(std::istream& in, const std::string& name)
         std::istringstream es(line);
         u64 r = 0, c = 0;
         double v = 1.0;
-        es >> r >> c;
-        if (!pattern)
-            es >> v;
+        fatalIf(!(es >> r >> c), "unparseable MatrixMarket entry: '" + line +
+                                     "'");
+        if (!pattern) {
+            fatalIf(!(es >> v),
+                    "MatrixMarket entry missing value: '" + line + "'");
+            fatalIf(!std::isfinite(v),
+                    "non-finite value in MatrixMarket entry: '" + line + "'");
+        }
         fatalIf(r == 0 || c == 0 || r > rows || c > cols,
                 "MatrixMarket entry out of bounds");
         t.push_back({static_cast<u32>(r - 1), static_cast<u32>(c - 1),

@@ -57,6 +57,57 @@ TEST(Mmio, RejectsMalformed)
     EXPECT_THROW(readMatrixMarket(bad3), FatalError);
 }
 
+TEST(Mmio, RejectsGarbageSizeLine)
+{
+    // Before hardening this silently parsed as entries=0 -> empty matrix.
+    std::istringstream bad(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "not numbers at all\n");
+    EXPECT_THROW(readMatrixMarket(bad), FatalError);
+    std::istringstream partial(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "3 4\n"); // entry count missing
+    EXPECT_THROW(readMatrixMarket(partial), FatalError);
+}
+
+TEST(Mmio, RejectsNonFiniteValues)
+{
+    for (const char* v : {"nan", "inf", "-inf"}) {
+        std::istringstream in(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 1 " + std::string(v) + "\n");
+        EXPECT_THROW(readMatrixMarket(in), FatalError) << v;
+    }
+}
+
+TEST(Mmio, RejectsMissingValueField)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "1 1\n"); // real field but no value
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(Mmio, RejectsDimensionOverflow)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "5000000000 2 1\n"
+        "1 1 1.0\n"); // rows > u32 max
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
+TEST(Mmio, RejectsUnparseableEntryLine)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "one one 1.0\n");
+    EXPECT_THROW(readMatrixMarket(in), FatalError);
+}
+
 TEST(Mmio, WriteReadRoundTrip)
 {
     Rng rng(3);

@@ -8,6 +8,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
@@ -294,6 +296,54 @@ TEST(NnSerialize, SaveLoadRoundTrip)
     c.collectParams(pc);
     saveParams(pa, path);
     EXPECT_THROW(loadParams(pc, path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(NnSerialize, RejectsTruncatedAndOverlongFiles)
+{
+    Rng rng(11);
+    MLP a({3, 5, 1}, rng);
+    std::vector<Param*> pa;
+    a.collectParams(pa);
+    std::string path = ::testing::TempDir() + "/waco_params_corrupt.bin";
+    saveParams(pa, path);
+
+    // Read the intact bytes once.
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+
+    MLP b({3, 5, 1}, rng);
+    std::vector<Param*> pb;
+    b.collectParams(pb);
+
+    // Truncation at several byte offsets must raise, never half-load.
+    for (std::size_t keep :
+         {bytes.size() - 1, bytes.size() - 7, bytes.size() / 2,
+          std::size_t(9)}) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(keep));
+        out.close();
+        EXPECT_THROW(loadParams(pb, path), FatalError) << "keep=" << keep;
+    }
+
+    // Trailing garbage (an over-long file) must raise too.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        out.put('\x42');
+        out.close();
+        EXPECT_THROW(loadParams(pb, path), FatalError);
+    }
+
+    // The intact file still loads after all that.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        out.close();
+        EXPECT_NO_THROW(loadParams(pb, path));
+    }
     std::remove(path.c_str());
 }
 
