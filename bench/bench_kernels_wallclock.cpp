@@ -5,13 +5,123 @@
  * the format-generic hierarchical kernels across formats. These numbers
  * are host-machine-dependent; they validate that the executor is a real,
  * runnable substrate rather than a paper construct.
+ *
+ * The `legacy` namespace below preserves the pre-LoopNest hand-written
+ * kernels (callback-based traversal, spawn-and-join-per-call threading)
+ * ONLY inside this benchmark target, so `_Old` / `_New` rows print the
+ * old and new executors side by side: the generic LoopNest interpreter
+ * must stay within a few percent of the hand-written traversals, and the
+ * persistent-pool scheduled path must beat per-call thread spawning on
+ * tuner-style repeated small invocations.
  */
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+
 #include "data/generators.hpp"
 #include "exec/kernels.hpp"
+#include "exec/scheduled.hpp"
 
 using namespace waco;
+
+// Pre-refactor kernels, kept compiled here (and only here) as the baseline
+// the generic executor is measured against. Deleted from the library.
+namespace legacy {
+
+DenseVector
+spmvHier(const HierSparseTensor& a, const DenseVector& b)
+{
+    DenseVector c(a.descriptor().dims()[0], 0.0f);
+    a.forEachStored([&](const std::array<u32, 3>& x, float v, bool ok) {
+        if (ok)
+            c[x[0]] += v * b[x[1]];
+    });
+    return c;
+}
+
+DenseMatrix
+spmmHier(const HierSparseTensor& a, const DenseMatrix& b)
+{
+    DenseMatrix c(a.descriptor().dims()[0], b.cols(), Layout::RowMajor, 0.0f);
+    const u64 jd = b.cols();
+    a.forEachStored([&](const std::array<u32, 3>& x, float v, bool ok) {
+        if (!ok)
+            return;
+        for (u64 j = 0; j < jd; ++j)
+            c.at(x[0], j) += v * b.at(x[1], j);
+    });
+    return c;
+}
+
+/** The old spawn-and-join-per-call dynamic chunking (including its
+ *  oversubscription: par.threads workers regardless of chunk count). */
+template <typename Fn>
+void
+dynamicTopLevel(const HierSparseTensor& a, const ParallelConfig& par, Fn&& fn)
+{
+    u64 total = a.topLevelSize();
+    u32 threads = std::max<u32>(1, par.threads);
+    u64 chunk = std::max<u32>(1, par.chunk);
+    if (threads == 1) {
+        fn(0, total);
+        return;
+    }
+    std::atomic<u64> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            u64 begin = next.fetch_add(chunk);
+            if (begin >= total)
+                return;
+            fn(begin, std::min(total, begin + chunk));
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (u32 t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto& t : pool)
+        t.join();
+}
+
+DenseVector
+spmvScheduled(const HierSparseTensor& a, const DenseVector& b,
+              const ParallelConfig& par)
+{
+    if (!parallelizableTopLevel(Algorithm::SpMV, a))
+        return legacy::spmvHier(a, b);
+    DenseVector c(a.descriptor().dims()[0], 0.0f);
+    dynamicTopLevel(a, par, [&](u64 begin, u64 end) {
+        a.forEachStoredInTopRange(
+            begin, end, [&](const std::array<u32, 3>& x, float v, bool ok) {
+                if (ok)
+                    c[x[0]] += v * b[x[1]];
+            });
+    });
+    return c;
+}
+
+DenseMatrix
+spmmScheduled(const HierSparseTensor& a, const DenseMatrix& b,
+              const ParallelConfig& par)
+{
+    if (!parallelizableTopLevel(Algorithm::SpMM, a))
+        return legacy::spmmHier(a, b);
+    DenseMatrix c(a.descriptor().dims()[0], b.cols(), Layout::RowMajor, 0.0f);
+    const u64 jd = b.cols();
+    dynamicTopLevel(a, par, [&](u64 begin, u64 end) {
+        a.forEachStoredInTopRange(
+            begin, end, [&](const std::array<u32, 3>& x, float v, bool ok) {
+                if (!ok)
+                    return;
+                for (u64 j = 0; j < jd; ++j)
+                    c.at(x[0], j) += v * b.at(x[1], j);
+            });
+    });
+    return c;
+}
+
+} // namespace legacy
 
 namespace {
 
@@ -20,6 +130,17 @@ benchMatrix()
 {
     Rng rng(42);
     return genBanded(4096, 4096, 16, 0.5, rng);
+}
+
+FormatDescriptor
+benchFormat(const SparseMatrix& m, i64 which)
+{
+    switch (which) {
+      case 0: return FormatDescriptor::csr(m.rows(), m.cols());
+      case 1: return FormatDescriptor::csc(m.rows(), m.cols());
+      case 2: return FormatDescriptor::bcsr(m.rows(), m.cols(), 4, 4);
+      default: return FormatDescriptor::ucu(m.rows(), m.cols(), 16);
+    }
 }
 
 void
@@ -76,6 +197,152 @@ BM_SpmvHierFormat(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * t.storedValues());
 }
 
+/** Old hand-written callback traversal, per format (baseline). */
+void
+BM_SpmvHier_Old(benchmark::State& state)
+{
+    auto m = benchMatrix();
+    auto desc = benchFormat(m, state.range(0));
+    auto t = HierSparseTensor::build(desc, m);
+    DenseVector b(m.cols());
+    Rng rng(3);
+    b.randomize(rng);
+    for (auto _ : state) {
+        auto c = legacy::spmvHier(t, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetLabel(desc.name());
+    state.SetItemsProcessed(state.iterations() * t.storedValues());
+}
+
+/** New generic LoopNest interpreter, same formats (must stay within ~5%). */
+void
+BM_SpmvHier_New(benchmark::State& state)
+{
+    auto m = benchMatrix();
+    auto desc = benchFormat(m, state.range(0));
+    auto t = HierSparseTensor::build(desc, m);
+    DenseVector b(m.cols());
+    Rng rng(3);
+    b.randomize(rng);
+    for (auto _ : state) {
+        auto c = spmvHier(t, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetLabel(desc.name());
+    state.SetItemsProcessed(state.iterations() * t.storedValues());
+}
+
+void
+BM_SpmmHier_Old(benchmark::State& state)
+{
+    auto m = benchMatrix();
+    auto desc = benchFormat(m, state.range(0));
+    auto t = HierSparseTensor::build(desc, m);
+    DenseMatrix b(m.cols(), 64);
+    Rng rng(5);
+    b.randomize(rng);
+    for (auto _ : state) {
+        auto c = legacy::spmmHier(t, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetLabel(desc.name());
+    state.SetItemsProcessed(state.iterations() * t.storedValues() * 64);
+}
+
+void
+BM_SpmmHier_New(benchmark::State& state)
+{
+    auto m = benchMatrix();
+    auto desc = benchFormat(m, state.range(0));
+    auto t = HierSparseTensor::build(desc, m);
+    DenseMatrix b(m.cols(), 64);
+    Rng rng(5);
+    b.randomize(rng);
+    for (auto _ : state) {
+        auto c = spmmHier(t, b);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetLabel(desc.name());
+    state.SetItemsProcessed(state.iterations() * t.storedValues() * 64);
+}
+
+/** Parallel scheduled SpMV: spawn-and-join per call (old runtime). */
+void
+BM_SpmvScheduled_Old(benchmark::State& state)
+{
+    auto m = benchMatrix();
+    auto t = HierSparseTensor::build(
+        FormatDescriptor::csr(m.rows(), m.cols()), m);
+    DenseVector b(m.cols());
+    Rng rng(7);
+    b.randomize(rng);
+    ParallelConfig par{static_cast<u32>(state.range(0)), 64};
+    for (auto _ : state) {
+        auto c = legacy::spmvScheduled(t, b, par);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * t.storedValues());
+}
+
+/** Parallel scheduled SpMV: persistent thread pool (new runtime). */
+void
+BM_SpmvScheduled_New(benchmark::State& state)
+{
+    auto m = benchMatrix();
+    auto t = HierSparseTensor::build(
+        FormatDescriptor::csr(m.rows(), m.cols()), m);
+    DenseVector b(m.cols());
+    Rng rng(7);
+    b.randomize(rng);
+    ParallelConfig par{static_cast<u32>(state.range(0)), 64};
+    for (auto _ : state) {
+        auto c = spmvScheduled(t, b, par);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * t.storedValues());
+}
+
+/**
+ * Tuner-style workload: thousands of parallel invocations on a *small*
+ * kernel, where per-call thread spawn/join dominates. Each benchmark
+ * iteration is one scheduled SpMM call on a 256x256 input with 4 threads —
+ * the shape of the inner loop of corpus labeling and top-k remeasurement.
+ */
+void
+BM_TunerRepeat_Old(benchmark::State& state)
+{
+    Rng rng(11);
+    auto m = genBanded(256, 256, 8, 0.5, rng);
+    auto t = HierSparseTensor::build(
+        FormatDescriptor::csr(m.rows(), m.cols()), m);
+    DenseMatrix b(m.cols(), 16);
+    b.randomize(rng);
+    ParallelConfig par{4, 16};
+    for (auto _ : state) {
+        auto c = legacy::spmmScheduled(t, b, par);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * t.storedValues() * 16);
+}
+
+void
+BM_TunerRepeat_New(benchmark::State& state)
+{
+    Rng rng(11);
+    auto m = genBanded(256, 256, 8, 0.5, rng);
+    auto t = HierSparseTensor::build(
+        FormatDescriptor::csr(m.rows(), m.cols()), m);
+    DenseMatrix b(m.cols(), 16);
+    b.randomize(rng);
+    ParallelConfig par{4, 16};
+    for (auto _ : state) {
+        auto c = spmmScheduled(t, b, par);
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * t.storedValues() * 16);
+}
+
 void
 BM_FormatBuild(benchmark::State& state)
 {
@@ -106,6 +373,14 @@ BM_MttkrpCsf(benchmark::State& state)
 BENCHMARK(BM_SpmvCsr);
 BENCHMARK(BM_SpmmCsr)->Arg(16)->Arg(64);
 BENCHMARK(BM_SpmvHierFormat)->DenseRange(0, 3);
+BENCHMARK(BM_SpmvHier_Old)->DenseRange(0, 3);
+BENCHMARK(BM_SpmvHier_New)->DenseRange(0, 3);
+BENCHMARK(BM_SpmmHier_Old)->Arg(0)->Arg(3);
+BENCHMARK(BM_SpmmHier_New)->Arg(0)->Arg(3);
+BENCHMARK(BM_SpmvScheduled_Old)->Arg(4);
+BENCHMARK(BM_SpmvScheduled_New)->Arg(4);
+BENCHMARK(BM_TunerRepeat_Old);
+BENCHMARK(BM_TunerRepeat_New);
 BENCHMARK(BM_FormatBuild);
 BENCHMARK(BM_MttkrpCsf);
 

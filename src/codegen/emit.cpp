@@ -6,17 +6,6 @@ namespace waco {
 
 namespace {
 
-/** Human-readable loop variable for a slot ("i1", "k0", or "i" when the
- *  index is unsplit). */
-std::string
-slotVar(const AlgorithmInfo& info, const SuperSchedule& s, u32 slot)
-{
-    std::string base = info.indexNames[slotIndex(slot)];
-    if (s.splits[slotIndex(slot)] == 1)
-        return base;
-    return base + (slotIsInner(slot) ? "0" : "1");
-}
-
 /** The compute statement of each kernel, in terms of full index names. */
 std::string
 computeStatement(Algorithm alg)
@@ -34,126 +23,144 @@ computeStatement(Algorithm alg)
     panic("unknown algorithm");
 }
 
+std::string
+posVar(u32 level)
+{
+    return "p" + std::to_string(level);
+}
+
+/** Position expression of the level above @p level ("0" for the root). */
+std::string
+parentPos(u32 level)
+{
+    return level == 0 ? "0" : posVar(level - 1);
+}
+
+/** Coordinate extent of storage level @p level. */
+u32
+levelExtent(const LoopNest& nest, u32 level)
+{
+    u32 slot = nest.levelSlot(level);
+    u32 idx = slotIndex(slot);
+    u32 split = nest.splitOf(idx);
+    return slotIsInner(slot)
+               ? split
+               : ceilDiv(nest.shape().indexExtent[idx], split);
+}
+
+/** `pL = parent * extent + coord` for U levels (level 0 has no parent). */
+std::string
+uPosExpr(const LoopNest& nest, u32 level, const std::string& coord)
+{
+    if (level == 0)
+        return coord;
+    return parentPos(level) + " * " + std::to_string(levelExtent(nest, level)) +
+           " + " + coord;
+}
+
 } // namespace
 
 std::string
-emitC(const SuperSchedule& s, const ProblemShape& shape)
+emitC(const LoopNest& nest, u32 numThreads, const std::string& scheduleKey)
 {
-    const auto& info = algorithmInfo(s.alg);
-    validateSchedule(s, shape);
+    const auto& info = algorithmInfo(nest.alg());
     std::ostringstream os;
 
-    auto fmt = formatOf(s, shape);
-    auto level_order = activeSparseLevelOrder(s);
-    auto level_fmts = activeSparseLevelFormats(s);
-    auto loops = activeLoopOrder(s);
-
-    os << "// " << algorithmName(s.alg) << ": " << info.einsum << "\n";
-    os << "// A stored as " << fmt.name() << "; "
-       << "generated for a SuperSchedule with key\n";
-    os << "//   " << s.key() << "\n";
-
-    // Reconstruction of full indices from split halves.
-    std::string reconstruct;
-    for (u32 idx = 0; idx < info.numIndices; ++idx) {
-        u32 split = std::min(s.splits[idx], shape.indexExtent[idx]);
-        if (split > 1) {
-            reconstruct += "int " + std::string(info.indexNames[idx]) +
-                           " = " + info.indexNames[idx] + "1 * " +
-                           std::to_string(split) + " + " +
-                           info.indexNames[idx] + "0;";
-        }
+    os << "// " << algorithmName(nest.alg()) << ": " << info.einsum << "\n";
+    os << "// A stored as ";
+    for (u32 l = 0; l < nest.numLevels(); ++l)
+        os << (nest.levelFormat(l) == LevelFormat::Uncompressed ? 'U' : 'C');
+    os << "(";
+    for (u32 l = 0; l < nest.numLevels(); ++l)
+        os << (l ? "," : "") << nest.slotVarName(nest.levelSlot(l));
+    os << ")\n";
+    if (!scheduleKey.empty()) {
+        os << "// generated for a SuperSchedule with key\n";
+        os << "//   " << scheduleKey << "\n";
     }
 
-    // Map each sparse slot to its format-level position.
-    auto level_of = [&](u32 slot) -> int {
-        for (std::size_t l = 0; l < level_order.size(); ++l) {
-            if (level_order[l] == slot)
-                return static_cast<int>(l);
-        }
-        return -1;
-    };
-
     std::string indent;
-    std::vector<bool> level_open(level_order.size(), false);
-    u32 emitted_levels = 0;
+    for (u32 d = 0; d < nest.loops().size(); ++d) {
+        const LoopNode& n = nest.loops()[d];
+        std::string var = nest.varName(d);
 
-    for (std::size_t pos = 0; pos < loops.size(); ++pos) {
-        u32 slot = loops[pos];
-        u32 idx = slotIndex(slot);
-        std::string var = slotVar(info, s, slot);
-        u32 extent = slotExtent(s, shape, slot);
-
-        if (slot == s.parallelSlot) {
+        if (n.parallel) {
             os << indent << "#pragma omp parallel for schedule(dynamic, "
-               << s.ompChunk << ") num_threads(" << s.numThreads << ")\n";
+               << n.chunk << ") num_threads(" << numThreads << ")\n";
         }
 
-        int level = info.sparseDim[idx] >= 0 ? level_of(slot) : -1;
-        if (level < 0) {
-            // Dense loop (dense-only index, or a sparse index's slot that
-            // degenerated out of the format — not possible for active
-            // slots, so this is the dense-operand case).
+        if (n.kind == LoopKind::Dense) {
             os << indent << "for (int " << var << " = 0; " << var << " < "
-               << extent << "; " << var << "++) {\n";
-        } else if (static_cast<u32>(level) == emitted_levels) {
-            // Concordant: this is the next storage level of A.
-            if (level_fmts[level] == LevelFormat::Uncompressed) {
-                os << indent << "for (int " << var << " = 0; " << var
-                   << " < " << extent << "; " << var << "++) {"
-                   << "  // A level " << level << ": U\n";
-            } else {
-                std::string parent =
-                    level == 0 ? "0 .. 1" : "pA_" + std::to_string(level - 1);
-                os << indent << "for (int p" << level << " = A" << level
-                   << "_pos[" << (level == 0 ? "0" : parent) << "]; p"
-                   << level << " < A" << level << "_pos["
-                   << (level == 0 ? "1" : parent + " + 1") << "]; p" << level
-                   << "++) {  // A level " << level << ": C\n";
-                os << indent << "    int " << var << " = A" << level
-                   << "_crd[p" << level << "];\n";
-            }
-            level_open[level] = true;
-            ++emitted_levels;
-            // Any deeper levels whose loops were already opened above us
-            // (discordant) can now be located.
-            while (emitted_levels < level_order.size() &&
-                   [&] {
-                       for (std::size_t q = 0; q < pos; ++q) {
-                           if (loops[q] == level_order[emitted_levels])
-                               return true;
-                       }
-                       return false;
-                   }()) {
-                u32 dslot = level_order[emitted_levels];
-                os << indent << "    // discordant: locate "
-                   << slotVar(info, s, dslot) << " in A level "
-                   << emitted_levels
-                   << (level_fmts[emitted_levels] == LevelFormat::Compressed
-                           ? " via binary search over A_crd\n"
-                           : " via direct offset\n");
-                ++emitted_levels;
-            }
+               << n.extent << "; " << var << "++) {";
+            if (n.level >= 0)
+                os << "  // discordant with A's level order";
+            os << "\n";
+        } else if (nest.levelFormat(n.level) ==
+                   LevelFormat::Uncompressed) {
+            u32 lv = static_cast<u32>(n.level);
+            os << indent << "for (int " << var << " = 0; " << var << " < "
+               << n.extent << "; " << var << "++) {"
+               << "  // A level " << lv << ": U\n";
+            os << indent << "    int " << posVar(lv) << " = "
+               << uPosExpr(nest, lv, var) << ";\n";
         } else {
-            // Discordant: loop over the full coordinate range now; the
-            // matching storage position is located when the format levels
-            // above it have been traversed.
-            os << indent << "for (int " << var << " = 0; " << var << " < "
-               << extent << "; " << var
-               << "++) {  // discordant with A's level order\n";
+            u32 lv = static_cast<u32>(n.level);
+            std::string L = std::to_string(lv);
+            std::string p = posVar(lv);
+            os << indent << "for (int " << p << " = A" << L << "_pos["
+               << (lv == 0 ? "0" : parentPos(lv)) << "]; " << p << " < A"
+               << L << "_pos["
+               << (lv == 0 ? "1" : parentPos(lv) + " + 1") << "]; " << p
+               << "++) {  // A level " << L << ": C\n";
+            os << indent << "    int " << var << " = A" << L << "_crd[" << p
+               << "];\n";
+        }
+
+        for (const LocateStep& ls : n.locates) {
+            std::string L = std::to_string(ls.level);
+            std::string p = posVar(ls.level);
+            std::string lvar = nest.slotVarName(ls.slot);
+            if (ls.binarySearch) {
+                os << indent << "    // discordant: locate " << lvar
+                   << " in A level " << L
+                   << " via binary search over A" << L << "_crd\n";
+                os << indent << "    int " << p << " = waco_search(A" << L
+                   << "_crd, A" << L << "_pos[" << parentPos(ls.level)
+                   << "], A" << L << "_pos[" << parentPos(ls.level)
+                   << " + 1], " << lvar << ");\n";
+                os << indent << "    if (" << p << " < 0) continue;\n";
+            } else {
+                os << indent << "    // discordant: locate " << lvar
+                   << " in A level " << L << " via direct offset\n";
+                os << indent << "    int " << p << " = "
+                   << uPosExpr(nest, ls.level, lvar) << ";\n";
+            }
         }
         indent += "    ";
     }
 
-    os << indent << "// pA: position of the current A value\n";
-    if (!reconstruct.empty())
-        os << indent << reconstruct << "\n";
-    os << indent << computeStatement(s.alg) << "\n";
-    for (std::size_t pos = loops.size(); pos-- > 0;) {
+    for (u32 idx = 0; idx < info.numIndices; ++idx) {
+        u32 split = nest.splitOf(idx);
+        if (split > 1) {
+            os << indent << "int " << info.indexNames[idx] << " = "
+               << info.indexNames[idx] << "1 * " << split << " + "
+               << info.indexNames[idx] << "0;\n";
+        }
+    }
+    os << indent << "int pA = " << posVar(nest.numLevels() - 1)
+       << ";  // position of the current A value\n";
+    os << indent << computeStatement(nest.alg()) << "\n";
+    for (std::size_t d = nest.loops().size(); d-- > 0;) {
         indent.resize(indent.size() - 4);
         os << indent << "}\n";
     }
     return os.str();
+}
+
+std::string
+emitC(const SuperSchedule& s, const ProblemShape& shape)
+{
+    return emitC(lower(s, shape), s.numThreads, s.key());
 }
 
 } // namespace waco

@@ -1,25 +1,33 @@
 /**
  * @file
- * TACO-style C code emission for a SuperSchedule (the paper's Figure 10c
- * shows such generated code). WACO executes schedules through the
- * interpreter in src/exec, but emitting the equivalent C loop nest makes
- * the chosen format+schedule inspectable and portable: the output compiles
- * conceptually against pos/crd/vals arrays produced by HierSparseTensor.
+ * TACO-style C code emission (the paper's Figure 10c shows such generated
+ * code). The emitter is deliberately NOT an independent lowering: it
+ * pretty-prints the same lowered LoopNest (ir/loopnest.hpp) that the
+ * generic interpreter in exec/loopnest_exec.cpp executes and the cost
+ * model walks. Every loop, locate step, and parallel annotation in the
+ * printed C corresponds one-to-one to a node of that shared IR, so what
+ * you read is exactly what runs.
  *
- * Sparse levels reached in storage order emit sequential pos/crd loops;
- * levels whose loop is ordered discordantly emit an explicit binary-search
- * locate, mirroring what TACO generates for discordant traversals
+ * Sparse levels reached in storage order print as sequential pos/crd
+ * loops; levels whose loop is ordered discordantly print an explicit
+ * locate — a direct offset for U levels, a binary search over crd for C
+ * levels — mirroring what TACO generates for discordant traversals
  * (Section 3.1).
  */
 #pragma once
 
 #include <string>
 
-#include "ir/schedule.hpp"
+#include "ir/loopnest.hpp"
 
 namespace waco {
 
-/** Emit C-like source implementing @p s on @p shape. */
+/** Emit C-like source implementing @p s on @p shape (lowers internally). */
 std::string emitC(const SuperSchedule& s, const ProblemShape& shape);
+
+/** Emit C-like source for an already-lowered nest. @p scheduleKey, when
+ *  non-empty, is echoed into the header comment for provenance. */
+std::string emitC(const LoopNest& nest, u32 numThreads = 48,
+                  const std::string& scheduleKey = "");
 
 } // namespace waco

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace waco {
@@ -13,6 +15,11 @@ WacoTuner::WacoTuner(Algorithm alg, MachineConfig machine, WacoOptions opt)
 {
     model_ = std::make_unique<WacoCostModel>(alg_, opt_.extractor,
                                              opt_.extractorConfig, opt_.seed);
+    // Warm the persistent pool once up front: labeling and tuning issue
+    // thousands of small oracle scans and kernel invocations, and the first
+    // one should not pay worker-thread creation.
+    u32 hw = std::max(1u, std::thread::hardware_concurrency());
+    globalPool().ensureWorkers(std::min(hw > 1 ? hw - 1 : 0, 8u));
 }
 
 std::vector<EpochStats>

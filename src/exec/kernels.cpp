@@ -1,41 +1,40 @@
 #include "exec/kernels.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 #include <vector>
 
+#include "exec/loopnest_exec.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace waco {
+
+// The format-generic kernels are serial storage-order executions of the
+// shared loop-nest IR: lower the tensor's own level order and interpret it.
 
 DenseVector
 spmvHier(const HierSparseTensor& a, const DenseVector& b)
 {
     fatalIf(a.descriptor().order() != 2, "spmvHier needs a 2D tensor");
-    fatalIf(b.size() != a.descriptor().dims()[1], "SpMV operand size mismatch");
-    DenseVector c(a.descriptor().dims()[0], 0.0f);
-    a.forEachStored([&](const std::array<u32, 3>& x, float v, bool ok) {
-        if (ok)
-            c[x[0]] += v * b[x[1]];
-    });
-    return c;
+    LoopNestArgs args;
+    args.a = &a;
+    args.vecB = &b;
+    return executeLoopNest(lowerStorageOrder(Algorithm::SpMV, a.descriptor()),
+                           args)
+        .vec;
 }
 
 DenseMatrix
 spmmHier(const HierSparseTensor& a, const DenseMatrix& b)
 {
     fatalIf(a.descriptor().order() != 2, "spmmHier needs a 2D tensor");
-    fatalIf(b.rows() != a.descriptor().dims()[1], "SpMM operand shape mismatch");
-    DenseMatrix c(a.descriptor().dims()[0], b.cols(), Layout::RowMajor, 0.0f);
-    const u64 jd = b.cols();
-    a.forEachStored([&](const std::array<u32, 3>& x, float v, bool ok) {
-        if (!ok)
-            return;
-        for (u64 j = 0; j < jd; ++j)
-            c.at(x[0], j) += v * b.at(x[1], j);
-    });
-    return c;
+    LoopNestArgs args;
+    args.a = &a;
+    args.matB = &b;
+    return executeLoopNest(lowerStorageOrder(Algorithm::SpMM, a.descriptor(),
+                                             static_cast<u32>(b.cols())),
+                           args)
+        .mat;
 }
 
 SparseMatrix
@@ -43,22 +42,14 @@ sddmmHier(const HierSparseTensor& a, const DenseMatrix& b,
           const DenseMatrix& c)
 {
     fatalIf(a.descriptor().order() != 2, "sddmmHier needs a 2D tensor");
-    fatalIf(b.rows() != a.descriptor().dims()[0] ||
-                c.cols() != a.descriptor().dims()[1] ||
-                b.cols() != c.rows(),
-            "SDDMM operand shape mismatch");
-    const u64 kd = b.cols();
-    std::vector<Triplet> out;
-    a.forEachStored([&](const std::array<u32, 3>& x, float v, bool ok) {
-        if (!ok || v == 0.0f)
-            return;
-        float dot = 0.0f;
-        for (u64 k = 0; k < kd; ++k)
-            dot += b.at(x[0], k) * c.at(k, x[1]);
-        out.push_back({x[0], x[1], v * dot});
-    });
-    return SparseMatrix(a.descriptor().dims()[0], a.descriptor().dims()[1],
-                        std::move(out));
+    LoopNestArgs args;
+    args.a = &a;
+    args.matB = &b;
+    args.matC = &c;
+    return executeLoopNest(lowerStorageOrder(Algorithm::SDDMM, a.descriptor(),
+                                             static_cast<u32>(b.cols())),
+                           args)
+        .sparse;
 }
 
 DenseMatrix
@@ -66,55 +57,41 @@ mttkrpHier(const HierSparseTensor& a, const DenseMatrix& b,
            const DenseMatrix& c)
 {
     fatalIf(a.descriptor().order() != 3, "mttkrpHier needs a 3D tensor");
-    fatalIf(b.rows() != a.descriptor().dims()[1] ||
-                c.rows() != a.descriptor().dims()[2] ||
-                b.cols() != c.cols(),
-            "MTTKRP operand shape mismatch");
-    DenseMatrix d(a.descriptor().dims()[0], b.cols(), Layout::RowMajor, 0.0f);
-    const u64 jd = b.cols();
-    a.forEachStored([&](const std::array<u32, 3>& x, float v, bool ok) {
-        if (!ok)
-            return;
-        for (u64 j = 0; j < jd; ++j)
-            d.at(x[0], j) += v * b.at(x[1], j) * c.at(x[2], j);
-    });
-    return d;
+    fatalIf(b.cols() != c.cols(), "MTTKRP operand shape mismatch");
+    LoopNestArgs args;
+    args.a = &a;
+    args.matB = &b;
+    args.matC = &c;
+    return executeLoopNest(lowerStorageOrder(Algorithm::MTTKRP,
+                                             a.descriptor(),
+                                             static_cast<u32>(b.cols())),
+                           args)
+        .mat;
 }
 
 namespace {
 
 /**
- * Run fn(row) for rows [0, rows) across threads with OpenMP-style dynamic
- * chunking: threads atomically claim the next chunk of @p chunk rows.
+ * Run fn(row) for rows [0, rows) with OpenMP-style dynamic chunking over
+ * the persistent global pool (no per-call thread spawn).
  */
 template <typename Fn>
 void
 dynamicFor(u32 rows, const ParallelConfig& par, Fn&& fn)
 {
     u32 threads = std::max<u32>(1, par.threads);
-    u32 chunk = std::max<u32>(1, par.chunk);
+    u64 chunk = std::max<u32>(1, par.chunk);
     if (threads == 1) {
         for (u32 r = 0; r < rows; ++r)
             fn(r);
         return;
     }
-    std::atomic<u32> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            u32 begin = next.fetch_add(chunk);
-            if (begin >= rows)
-                return;
-            u32 end = std::min(rows, begin + chunk);
-            for (u32 r = begin; r < end; ++r)
-                fn(r);
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (u32 t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (auto& t : pool)
-        t.join();
+    globalPool().ensureWorkers(
+        std::min(threads, ThreadPool::kMaxWorkers + 1) - 1);
+    globalPool().parallelFor(rows, chunk, threads, [&](u64 begin, u64 end) {
+        for (u64 r = begin; r < end; ++r)
+            fn(static_cast<u32>(r));
+    });
 }
 
 } // namespace

@@ -6,9 +6,12 @@
  *  - Format-generic kernels over a HierSparseTensor: run any of the four
  *    algorithms on a tensor stored in *any* format the SuperSchedule can
  *    describe (dense-block padding included, exactly like TACO-generated
- *    code). Used to validate formats and to wall-clock real format effects.
+ *    code). These are thin wrappers that lower the tensor's storage order
+ *    to the shared loop-nest IR and run the generic interpreter
+ *    (exec/loopnest_exec.hpp) serially.
  *  - Fast fixed-format kernels (CSR / CSF) with OpenMP-style dynamic
- *    work-sharing over std::thread, used by the baselines and examples.
+ *    work-sharing over the persistent thread pool, used by the baselines
+ *    and examples.
  */
 #pragma once
 

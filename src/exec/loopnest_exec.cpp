@@ -1,0 +1,473 @@
+#include "exec/loopnest_exec.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace waco {
+
+namespace {
+
+std::atomic<u64> g_exec_count{0};
+
+constexpr u32 kMaxLevels = 8;
+
+/**
+ * Flattened per-invocation interpreter state. Trivially copyable: the
+ * parallel path hands each chunk its own copy so loop bindings never race.
+ */
+struct Ctx
+{
+    const LoopNode* loops = nullptr;
+    const BuiltLevel* levels = nullptr;
+    u32 numLoops = 0;
+    /** Depth at which the leaf's fused tail runs (numLoops = no tail). */
+    u32 tailDepth = 0;
+    u32 lastLevel = 0;
+    u32 numIndices = 0;
+    u32 split[4] = {1, 1, 1, 1};
+    u32 bound[4] = {0, 0, 0, 0}; ///< Index extents (padding bounds check).
+    u32 slotCoord[8] = {};
+    u32 coord[4] = {}; ///< Combined coordinate per index variable.
+    u64 posAfter[kMaxLevels] = {};
+};
+
+/** Value position of the currently bound storage point. */
+inline u64
+valuePos(const Ctx& cx)
+{
+    return cx.posAfter[cx.lastLevel];
+}
+
+/** Split indices can overshoot their extent (ceil-division padding); every
+ *  leaf visit is guarded the same way TACO guards its tail iterations. */
+inline bool
+inBounds(const Ctx& cx)
+{
+    for (u32 idx = 0; idx < cx.numIndices; ++idx) {
+        if (cx.coord[idx] >= cx.bound[idx])
+            return false;
+    }
+    return true;
+}
+
+inline void
+bindSlot(Ctx& cx, u32 slot, u32 c)
+{
+    cx.slotCoord[slot] = c;
+    u32 idx = slotIndex(slot);
+    cx.coord[idx] = cx.slotCoord[outerSlot(idx)] * cx.split[idx] +
+                    cx.slotCoord[innerSlot(idx)];
+}
+
+/** Resolve discordant levels now that this node's level has bound: direct
+ *  offset into U levels, binary search over crd for C levels.
+ *  @return false when a searched coordinate is absent (skip the point). */
+inline bool
+runLocates(Ctx& cx, const LoopNode& n)
+{
+    for (const LocateStep& ls : n.locates) {
+        const BuiltLevel& bl = cx.levels[ls.level];
+        u64 parent = ls.level == 0 ? 0 : cx.posAfter[ls.level - 1];
+        u32 target = cx.slotCoord[ls.slot];
+        if (bl.fmt == LevelFormat::Uncompressed) {
+            cx.posAfter[ls.level] = parent * bl.extent + target;
+        } else {
+            const u32* crd = bl.crd.data();
+            const u32* first = crd + bl.pos[parent];
+            const u32* last = crd + bl.pos[parent + 1];
+            const u32* it = std::lower_bound(first, last, target);
+            if (it == last || *it != target)
+                return false;
+            cx.posAfter[ls.level] = static_cast<u64>(it - crd);
+        }
+    }
+    return true;
+}
+
+/** Iteration domain of the node at @p depth (its parents already bound):
+ *  coordinates for Dense/U nodes, crd positions for C nodes. */
+inline std::pair<u64, u64>
+nodeDomain(const Ctx& cx, const LoopNode& n)
+{
+    if (n.kind == LoopKind::Dense)
+        return {0, n.extent};
+    const BuiltLevel& bl = cx.levels[n.level];
+    if (bl.fmt == LevelFormat::Uncompressed)
+        return {0, bl.extent};
+    u64 parent = n.level == 0 ? 0 : cx.posAfter[n.level - 1];
+    return {bl.pos[parent], bl.pos[parent + 1]};
+}
+
+template <class Leaf>
+void execNode(Ctx& cx, u32 depth, u64 lo, u64 hi, const Leaf& leaf);
+
+template <class Leaf>
+inline void
+descend(Ctx& cx, u32 depth, const Leaf& leaf)
+{
+    u32 d = depth + 1;
+    if (d >= cx.tailDepth) {
+        if (!inBounds(cx))
+            return;
+        if (d == cx.numLoops)
+            leaf.scalar(cx);
+        else
+            leaf.tail(cx); // fused innermost dense-only loop
+        return;
+    }
+    const LoopNode& n = cx.loops[d];
+    auto dom = nodeDomain(cx, n);
+    execNode(cx, d, dom.first, dom.second, leaf);
+}
+
+template <class Leaf>
+void
+execNode(Ctx& cx, u32 depth, u64 lo, u64 hi, const Leaf& leaf)
+{
+    const LoopNode& n = cx.loops[depth];
+    if (n.kind == LoopKind::Dense) {
+        for (u64 c = lo; c < hi; ++c) {
+            bindSlot(cx, n.slot, static_cast<u32>(c));
+            descend(cx, depth, leaf);
+        }
+        return;
+    }
+    const BuiltLevel& bl = cx.levels[n.level];
+    if (bl.fmt == LevelFormat::Uncompressed) {
+        u64 parent = n.level == 0 ? 0 : cx.posAfter[n.level - 1];
+        u64 base = parent * bl.extent;
+        for (u64 c = lo; c < hi; ++c) {
+            cx.posAfter[n.level] = base + c;
+            bindSlot(cx, n.slot, static_cast<u32>(c));
+            if (!n.locates.empty() && !runLocates(cx, n))
+                continue;
+            descend(cx, depth, leaf);
+        }
+    } else {
+        const u32* crd = bl.crd.data();
+        for (u64 p = lo; p < hi; ++p) {
+            cx.posAfter[n.level] = p;
+            bindSlot(cx, n.slot, crd[p]);
+            if (!n.locates.empty() && !runLocates(cx, n))
+                continue;
+            descend(cx, depth, leaf);
+        }
+    }
+}
+
+/**
+ * Execute the whole nest. The outermost loop is chunked over the global
+ * pool when its index does not reduce into the output: each chunk then
+ * covers disjoint first-level subtrees AND a disjoint output slice (or
+ * disjoint A value positions for SDDMM), so parallel execution is
+ * race-free and bitwise identical to serial execution. Reduction-major
+ * nests run serially, like the legal TACO schedule would.
+ */
+template <class Leaf>
+void
+runNest(const LoopNest& nest, const HierSparseTensor& a, const Leaf& leaf,
+        const ParallelConfig& par)
+{
+    const auto& info = algorithmInfo(nest.alg());
+    Ctx proto;
+    proto.loops = nest.loops().data();
+    proto.levels = a.levels().data();
+    proto.numLoops = static_cast<u32>(nest.loops().size());
+    proto.tailDepth =
+        nest.leaf().vectorIndex >= 0 ? proto.numLoops - 1 : proto.numLoops;
+    proto.lastLevel = nest.numLevels() - 1;
+    proto.numIndices = info.numIndices;
+    for (u32 idx = 0; idx < info.numIndices; ++idx) {
+        proto.split[idx] = nest.splitOf(idx);
+        proto.bound[idx] = nest.shape().indexExtent[idx];
+    }
+
+    const LoopNode& top = nest.loops().front();
+    auto dom = nodeDomain(proto, top);
+    if (dom.second <= dom.first)
+        return;
+    u32 threads = std::max<u32>(1, par.threads);
+    bool safe = !info.isReduction[slotIndex(top.slot)];
+    if (threads == 1 || !safe) {
+        Ctx cx = proto;
+        execNode(cx, 0, dom.first, dom.second, leaf);
+        return;
+    }
+    u64 chunk = std::max<u32>(1, par.chunk);
+    globalPool().ensureWorkers(
+        std::min(threads, ThreadPool::kMaxWorkers + 1) - 1);
+    globalPool().parallelFor(
+        dom.second - dom.first, chunk, threads, [&](u64 b, u64 e) {
+            Ctx cx = proto;
+            execNode(cx, 0, dom.first + b, dom.first + e, leaf);
+        });
+}
+
+/** Row/column strides of a dense matrix under its runtime layout. */
+struct Strides
+{
+    u64 row;
+    u64 col;
+};
+
+inline Strides
+stridesOf(const DenseMatrix& m)
+{
+    if (m.layout() == Layout::RowMajor)
+        return {m.cols(), 1};
+    return {1, m.rows()};
+}
+
+// ---- Per-algorithm compute leaves ------------------------------------
+// scalar() runs once per stored point when the innermost loop binds a
+// storage level or a split dense index; tail() fuses the full unsplit
+// dense-only innermost loop (leaf().vectorIndex) into one tight pass.
+
+struct SpMVLeaf // C[i] = A[i,k] * B[k]
+{
+    const float* av;
+    const float* b;
+    float* c;
+
+    void
+    scalar(const Ctx& cx) const
+    {
+        c[cx.coord[0]] += av[valuePos(cx)] * b[cx.coord[1]];
+    }
+    void
+    tail(const Ctx&) const
+    {} // SpMV has no dense-only index
+};
+
+struct SpMMLeaf // C[i,j] = A[i,k] * B[k,j]
+{
+    const float* av;
+    const float* bd;
+    float* cd;
+    Strides bs;
+    u64 crow; ///< Output is row-major: stride J.
+    u64 J;
+
+    void
+    scalar(const Ctx& cx) const
+    {
+        u64 j = cx.coord[2];
+        cd[cx.coord[0] * crow + j] +=
+            av[valuePos(cx)] * bd[cx.coord[1] * bs.row + j * bs.col];
+    }
+    void
+    tail(const Ctx& cx) const
+    {
+        float v = av[valuePos(cx)];
+        const float* bp = bd + cx.coord[1] * bs.row;
+        float* cp = cd + cx.coord[0] * crow;
+        if (bs.col == 1) {
+            for (u64 j = 0; j < J; ++j)
+                cp[j] += v * bp[j];
+        } else {
+            for (u64 j = 0; j < J; ++j)
+                cp[j] += v * bp[j * bs.col];
+        }
+    }
+};
+
+struct SDDMMLeaf // D[i,j] = A[i,j] * B[i,k] * C[k,j]
+{
+    const float* av;
+    const float* bd;
+    const float* cd;
+    /** Per-stored-position accumulators: chunks of any non-reduction top
+     *  loop touch disjoint positions, so the parallel path is race-free
+     *  even though D's sparsity pattern is shared. */
+    float* dvals;
+    Strides bs;
+    Strides cs;
+    u64 K;
+
+    void
+    scalar(const Ctx& cx) const
+    {
+        u64 p = valuePos(cx);
+        u64 k = cx.coord[2];
+        dvals[p] += av[p] * bd[cx.coord[0] * bs.row + k * bs.col] *
+                    cd[k * cs.row + cx.coord[1] * cs.col];
+    }
+    void
+    tail(const Ctx& cx) const
+    {
+        u64 p = valuePos(cx);
+        float v = av[p];
+        if (v == 0.0f)
+            return; // dense-block padding
+        const float* bp = bd + cx.coord[0] * bs.row;
+        const float* cp = cd + cx.coord[1] * cs.col;
+        float dot = 0.0f;
+        if (bs.col == 1 && cs.row == 1) {
+            // B row-major, C column-major (the paper's fixed layouts):
+            // both operands walk contiguously in k.
+            for (u64 k = 0; k < K; ++k)
+                dot += bp[k] * cp[k];
+        } else {
+            for (u64 k = 0; k < K; ++k)
+                dot += bp[k * bs.col] * cp[k * cs.row];
+        }
+        dvals[p] += v * dot;
+    }
+};
+
+struct MTTKRPLeaf // D[i,j] = A[i,k,l] * B[k,j] * C[l,j]
+{
+    const float* av;
+    const float* bd;
+    const float* cd;
+    float* dd;
+    Strides bs;
+    Strides cs;
+    u64 drow; ///< Output is row-major: stride J.
+    u64 J;
+
+    void
+    scalar(const Ctx& cx) const
+    {
+        u64 j = cx.coord[3];
+        dd[cx.coord[0] * drow + j] += av[valuePos(cx)] *
+                                      bd[cx.coord[1] * bs.row + j * bs.col] *
+                                      cd[cx.coord[2] * cs.row + j * cs.col];
+    }
+    void
+    tail(const Ctx& cx) const
+    {
+        float v = av[valuePos(cx)];
+        const float* bp = bd + cx.coord[1] * bs.row;
+        const float* cp = cd + cx.coord[2] * cs.row;
+        float* dp = dd + cx.coord[0] * drow;
+        if (bs.col == 1 && cs.col == 1) {
+            for (u64 j = 0; j < J; ++j)
+                dp[j] += v * bp[j] * cp[j];
+        } else {
+            for (u64 j = 0; j < J; ++j)
+                dp[j] += v * bp[j * bs.col] * cp[j * cs.row];
+        }
+    }
+};
+
+/** The tensor must be the physical realization of the nest's format half. */
+void
+checkTensorMatchesNest(const LoopNest& nest, const HierSparseTensor& a)
+{
+    panicIf(a.descriptor().numLevels() != nest.numLevels(),
+            "executeLoopNest: tensor level count does not match the nest");
+    for (u32 l = 0; l < nest.numLevels(); ++l) {
+        const BuiltLevel& bl = a.levels()[l];
+        u32 slot = nest.levelSlot(l);
+        u32 idx = slotIndex(slot);
+        u32 split = nest.splitOf(idx);
+        u32 expected = slotIsInner(slot)
+                           ? split
+                           : ceilDiv(nest.shape().indexExtent[idx], split);
+        panicIf(bl.fmt != nest.levelFormat(l) || bl.extent != expected,
+                "executeLoopNest: tensor level does not match the nest");
+    }
+}
+
+} // namespace
+
+LoopNestResult
+executeLoopNest(const LoopNest& nest, const LoopNestArgs& args,
+                const ParallelConfig& par)
+{
+    g_exec_count.fetch_add(1, std::memory_order_relaxed);
+    fatalIf(args.a == nullptr, "executeLoopNest: missing sparse operand");
+    const HierSparseTensor& a = *args.a;
+    checkTensorMatchesNest(nest, a);
+    const auto& ext = nest.shape().indexExtent;
+    const float* av = a.values().data();
+
+    LoopNestResult r;
+    switch (nest.alg()) {
+      case Algorithm::SpMV: {
+        fatalIf(args.vecB == nullptr || args.vecB->size() != ext[1],
+                "SpMV operand size mismatch");
+        r.vec = DenseVector(ext[0], 0.0f);
+        SpMVLeaf leaf{av, args.vecB->data().data(), r.vec.data().data()};
+        runNest(nest, a, leaf, par);
+        break;
+      }
+      case Algorithm::SpMM: {
+        fatalIf(args.matB == nullptr || args.matB->rows() != ext[1] ||
+                    args.matB->cols() != ext[2],
+                "SpMM operand shape mismatch");
+        r.mat = DenseMatrix(ext[0], ext[2], Layout::RowMajor, 0.0f);
+        SpMMLeaf leaf{av,
+                      args.matB->data().data(),
+                      r.mat.data().data(),
+                      stridesOf(*args.matB),
+                      r.mat.cols(),
+                      ext[2]};
+        runNest(nest, a, leaf, par);
+        break;
+      }
+      case Algorithm::SDDMM: {
+        fatalIf(args.matB == nullptr || args.matC == nullptr ||
+                    args.matB->rows() != ext[0] ||
+                    args.matB->cols() != ext[2] ||
+                    args.matC->rows() != ext[2] ||
+                    args.matC->cols() != ext[1],
+                "SDDMM operand shape mismatch");
+        std::vector<float> dvals(a.storedValues(), 0.0f);
+        SDDMMLeaf leaf{av,
+                       args.matB->data().data(),
+                       args.matC->data().data(),
+                       dvals.data(),
+                       stridesOf(*args.matB),
+                       stridesOf(*args.matC),
+                       ext[2]};
+        runNest(nest, a, leaf, par);
+        // Serial storage-order pass assembling D on A's sparsity pattern
+        // (out-of-bounds padding and explicit stored zeros are dropped,
+        // matching the dense-block semantics of the hierarchy builder).
+        std::vector<Triplet> out;
+        u64 p = 0;
+        a.forEachStored(
+            [&](const std::array<u32, 3>& x, float v, bool ok) {
+                if (ok && v != 0.0f)
+                    out.push_back({x[0], x[1], dvals[p]});
+                ++p;
+            });
+        r.sparse = SparseMatrix(a.descriptor().dims()[0],
+                                a.descriptor().dims()[1], std::move(out));
+        break;
+      }
+      case Algorithm::MTTKRP: {
+        fatalIf(args.matB == nullptr || args.matC == nullptr ||
+                    args.matB->rows() != ext[1] ||
+                    args.matC->rows() != ext[2] ||
+                    args.matB->cols() != ext[3] ||
+                    args.matC->cols() != ext[3],
+                "MTTKRP operand shape mismatch");
+        r.mat = DenseMatrix(ext[0], ext[3], Layout::RowMajor, 0.0f);
+        MTTKRPLeaf leaf{av,
+                        args.matB->data().data(),
+                        args.matC->data().data(),
+                        r.mat.data().data(),
+                        stridesOf(*args.matB),
+                        stridesOf(*args.matC),
+                        r.mat.cols(),
+                        ext[3]};
+        runNest(nest, a, leaf, par);
+        break;
+      }
+    }
+    return r;
+}
+
+u64
+loopNestExecutionCount()
+{
+    return g_exec_count.load(std::memory_order_relaxed);
+}
+
+} // namespace waco

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The single generic executor: interprets a lowered LoopNest against a
+ * HierSparseTensor and dense operands. All four algorithms (SpMV, SpMM,
+ * SDDMM, MTTKRP) dispatch through executeLoopNest — there are no per-kernel
+ * hand-written traversals anymore; the `*Hier` / `*Scheduled` entry points
+ * in kernels.hpp / scheduled.hpp are thin wrappers that lower the tensor's
+ * storage order and call this.
+ *
+ * The interpreter walks the nest's typed nodes: Dense nodes iterate full
+ * coordinate ranges, Sparse nodes traverse A's pos/crd (or padded U)
+ * levels, and locate steps resolve discordantly-ordered levels by direct
+ * offset (U) or binary search over crd (C) — so discordant schedules
+ * execute with exactly the cost structure the paper describes (§3.1).
+ * Compute leaves are template-specialized per algorithm so the innermost
+ * loops stay tight; an unsplit dense-only innermost loop is fused into the
+ * leaf as a vectorizable tail.
+ *
+ * Parallelism: the outermost loop is chunked over the persistent global
+ * ThreadPool (util/thread_pool.hpp) whenever its index variable is not a
+ * reduction index — each chunk then writes a disjoint slice of the output
+ * (disjoint rows/columns, or disjoint A value positions for SDDMM).
+ * Reduction-major nests run serially, which is also what a legal TACO
+ * schedule would be forced to do.
+ */
+#pragma once
+
+#include "exec/kernels.hpp"
+#include "ir/loopnest.hpp"
+
+namespace waco {
+
+/** Operands of one executeLoopNest call; only the algorithm's inputs are
+ *  read (`a` always, `vecB` for SpMV, `matB`/`matC` per einsum). */
+struct LoopNestArgs
+{
+    const HierSparseTensor* a = nullptr;
+    const DenseVector* vecB = nullptr; ///< SpMV B.
+    const DenseMatrix* matB = nullptr; ///< SpMM / SDDMM / MTTKRP B.
+    const DenseMatrix* matC = nullptr; ///< SDDMM / MTTKRP C.
+};
+
+/** Result of one executeLoopNest call; the algorithm determines which
+ *  member is populated. */
+struct LoopNestResult
+{
+    DenseVector vec;     ///< SpMV output C.
+    DenseMatrix mat;     ///< SpMM output C / MTTKRP output D.
+    SparseMatrix sparse; ///< SDDMM output D (A's sparsity pattern).
+};
+
+/**
+ * Execute @p nest over the given operands. The tensor must be stored in
+ * the format the nest was lowered for (formatOf of the lowered schedule).
+ */
+LoopNestResult executeLoopNest(const LoopNest& nest, const LoopNestArgs& args,
+                               const ParallelConfig& par = {1, 128});
+
+/** Process-wide count of executeLoopNest invocations — lets tests assert
+ *  that every kernel entry point dispatches through the generic executor. */
+u64 loopNestExecutionCount();
+
+} // namespace waco

@@ -1,8 +1,6 @@
 #include "exec/scheduled.hpp"
 
-#include <atomic>
-#include <thread>
-#include <vector>
+#include "exec/loopnest_exec.hpp"
 
 namespace waco {
 
@@ -15,57 +13,17 @@ parallelizableTopLevel(Algorithm alg, const HierSparseTensor& a)
     return !info.isReduction[idx];
 }
 
-namespace {
-
-/** Run fn(top_begin, top_end) over dynamic chunks of the first level. */
-template <typename Fn>
-void
-dynamicTopLevel(const HierSparseTensor& a, const ParallelConfig& par, Fn&& fn)
-{
-    u64 total = a.topLevelSize();
-    u32 threads = std::max<u32>(1, par.threads);
-    u64 chunk = std::max<u32>(1, par.chunk);
-    if (threads == 1) {
-        fn(0, total);
-        return;
-    }
-    std::atomic<u64> next{0};
-    auto worker = [&]() {
-        for (;;) {
-            u64 begin = next.fetch_add(chunk);
-            if (begin >= total)
-                return;
-            fn(begin, std::min(total, begin + chunk));
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (u32 t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (auto& t : pool)
-        t.join();
-}
-
-} // namespace
-
 DenseVector
 spmvScheduled(const HierSparseTensor& a, const DenseVector& b,
               const ParallelConfig& par)
 {
     fatalIf(a.descriptor().order() != 2, "spmvScheduled needs a 2D tensor");
-    fatalIf(b.size() != a.descriptor().dims()[1],
-            "SpMV operand size mismatch");
-    if (!parallelizableTopLevel(Algorithm::SpMV, a))
-        return spmvHier(a, b); // reduction-major storage: serial fallback
-    DenseVector c(a.descriptor().dims()[0], 0.0f);
-    dynamicTopLevel(a, par, [&](u64 begin, u64 end) {
-        a.forEachStoredInTopRange(
-            begin, end, [&](const std::array<u32, 3>& x, float v, bool ok) {
-                if (ok)
-                    c[x[0]] += v * b[x[1]];
-            });
-    });
-    return c;
+    LoopNestArgs args;
+    args.a = &a;
+    args.vecB = &b;
+    return executeLoopNest(lowerStorageOrder(Algorithm::SpMV, a.descriptor()),
+                           args, par)
+        .vec;
 }
 
 DenseMatrix
@@ -73,22 +31,28 @@ spmmScheduled(const HierSparseTensor& a, const DenseMatrix& b,
               const ParallelConfig& par)
 {
     fatalIf(a.descriptor().order() != 2, "spmmScheduled needs a 2D tensor");
-    fatalIf(b.rows() != a.descriptor().dims()[1],
-            "SpMM operand shape mismatch");
-    if (!parallelizableTopLevel(Algorithm::SpMM, a))
-        return spmmHier(a, b);
-    DenseMatrix c(a.descriptor().dims()[0], b.cols(), Layout::RowMajor, 0.0f);
-    const u64 jd = b.cols();
-    dynamicTopLevel(a, par, [&](u64 begin, u64 end) {
-        a.forEachStoredInTopRange(
-            begin, end, [&](const std::array<u32, 3>& x, float v, bool ok) {
-                if (!ok)
-                    return;
-                for (u64 j = 0; j < jd; ++j)
-                    c.at(x[0], j) += v * b.at(x[1], j);
-            });
-    });
-    return c;
+    LoopNestArgs args;
+    args.a = &a;
+    args.matB = &b;
+    return executeLoopNest(lowerStorageOrder(Algorithm::SpMM, a.descriptor(),
+                                             static_cast<u32>(b.cols())),
+                           args, par)
+        .mat;
+}
+
+SparseMatrix
+sddmmScheduled(const HierSparseTensor& a, const DenseMatrix& b,
+               const DenseMatrix& c, const ParallelConfig& par)
+{
+    fatalIf(a.descriptor().order() != 2, "sddmmScheduled needs a 2D tensor");
+    LoopNestArgs args;
+    args.a = &a;
+    args.matB = &b;
+    args.matC = &c;
+    return executeLoopNest(lowerStorageOrder(Algorithm::SDDMM, a.descriptor(),
+                                             static_cast<u32>(b.cols())),
+                           args, par)
+        .sparse;
 }
 
 DenseMatrix
@@ -96,24 +60,16 @@ mttkrpScheduled(const HierSparseTensor& a, const DenseMatrix& b,
                 const DenseMatrix& c, const ParallelConfig& par)
 {
     fatalIf(a.descriptor().order() != 3, "mttkrpScheduled needs a 3D tensor");
-    fatalIf(b.rows() != a.descriptor().dims()[1] ||
-                c.rows() != a.descriptor().dims()[2] ||
-                b.cols() != c.cols(),
-            "MTTKRP operand shape mismatch");
-    if (!parallelizableTopLevel(Algorithm::MTTKRP, a))
-        return mttkrpHier(a, b, c);
-    DenseMatrix d(a.descriptor().dims()[0], b.cols(), Layout::RowMajor, 0.0f);
-    const u64 jd = b.cols();
-    dynamicTopLevel(a, par, [&](u64 begin, u64 end) {
-        a.forEachStoredInTopRange(
-            begin, end, [&](const std::array<u32, 3>& x, float v, bool ok) {
-                if (!ok)
-                    return;
-                for (u64 j = 0; j < jd; ++j)
-                    d.at(x[0], j) += v * b.at(x[1], j) * c.at(x[2], j);
-            });
-    });
-    return d;
+    fatalIf(b.cols() != c.cols(), "MTTKRP operand shape mismatch");
+    LoopNestArgs args;
+    args.a = &a;
+    args.matB = &b;
+    args.matC = &c;
+    return executeLoopNest(lowerStorageOrder(Algorithm::MTTKRP,
+                                             a.descriptor(),
+                                             static_cast<u32>(b.cols())),
+                           args, par)
+        .mat;
 }
 
 } // namespace waco

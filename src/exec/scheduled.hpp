@@ -1,16 +1,19 @@
 /**
  * @file
  * Scheduled (multi-threaded) execution of the format-generic kernels: the
- * real-machine counterpart of the oracle's OpenMP-dynamic model. The
- * tensor's first storage level is chunked and worker threads claim chunks
- * dynamically, exactly like `#pragma omp parallel for schedule(dynamic,
- * chunk)` over the outer loop of TACO-generated code.
+ * real-machine counterpart of the oracle's OpenMP-dynamic model. All four
+ * entry points lower the tensor's storage order to the shared loop-nest IR
+ * and run the generic interpreter (exec/loopnest_exec.hpp), which chunks
+ * the outermost loop over the persistent thread pool exactly like
+ * `#pragma omp parallel for schedule(dynamic, chunk)` in TACO-generated
+ * code.
  *
- * Parallel execution is only race-free when the first storage level
- * indexes a dimension that also indexes the output (each subtree then
- * writes a disjoint output slice). parallelizableTopLevel() checks that;
- * the kernels fall back to serial execution otherwise, which is also what
- * a legal TACO schedule would be forced to do.
+ * Parallel execution is only race-free when the outermost loop binds a
+ * dimension that also indexes the output (each chunk then writes a
+ * disjoint output slice — for SDDMM, a disjoint range of A's stored value
+ * positions). parallelizableTopLevel() checks that; the executor falls
+ * back to serial execution otherwise, which is also what a legal TACO
+ * schedule would be forced to do.
  */
 #pragma once
 
@@ -29,6 +32,11 @@ DenseVector spmvScheduled(const HierSparseTensor& a, const DenseVector& b,
 /** SpMM with dynamic top-level chunking. */
 DenseMatrix spmmScheduled(const HierSparseTensor& a, const DenseMatrix& b,
                           const ParallelConfig& par);
+
+/** SDDMM with dynamic top-level chunking (disjoint stored-value ranges
+ *  make every non-reduction top level parallel-safe). */
+SparseMatrix sddmmScheduled(const HierSparseTensor& a, const DenseMatrix& b,
+                            const DenseMatrix& c, const ParallelConfig& par);
 
 /** MTTKRP with dynamic top-level chunking. */
 DenseMatrix mttkrpScheduled(const HierSparseTensor& a, const DenseMatrix& b,

@@ -1,0 +1,260 @@
+#include "ir/loopnest.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace waco {
+
+u32
+LoopNest::loopPositionOf(u32 slot) const
+{
+    for (u32 p = 0; p < loops_.size(); ++p) {
+        if (loops_[p].slot == slot)
+            return p;
+    }
+    // Degenerate inner slot: executes at its outer half's position.
+    u32 outer = outerSlot(slotIndex(slot));
+    if (outer != slot) {
+        for (u32 p = 0; p < loops_.size(); ++p) {
+            if (loops_[p].slot == outer)
+                return p;
+        }
+    }
+    panic("slot not found in lowered loop nest");
+}
+
+std::string
+LoopNest::slotVarName(u32 slot) const
+{
+    const auto& info = algorithmInfo(alg_);
+    std::string base = info.indexNames[slotIndex(slot)];
+    if (splits_[slotIndex(slot)] == 1)
+        return base;
+    return base + (slotIsInner(slot) ? "0" : "1");
+}
+
+std::string
+LoopNest::varName(u32 depth) const
+{
+    return slotVarName(loops_[depth].slot);
+}
+
+std::string
+LoopNest::describe() const
+{
+    std::ostringstream os;
+    os << algorithmName(alg_) << " loop nest (" << loops_.size()
+       << " loops, " << numLevels() << " A levels):\n";
+    std::string indent;
+    for (u32 d = 0; d < loops_.size(); ++d) {
+        const LoopNode& n = loops_[d];
+        os << indent;
+        if (n.parallel)
+            os << "parallel(chunk=" << n.chunk << ") ";
+        if (n.kind == LoopKind::Sparse) {
+            os << "sparse " << varName(d) << " over A level " << n.level
+               << " ("
+               << (levelFormats_[n.level] == LevelFormat::Uncompressed ? 'U'
+                                                                       : 'C')
+               << ")";
+        } else {
+            os << "dense " << varName(d) << " < " << n.extent;
+            if (n.level >= 0)
+                os << " (discordant with A level " << n.level << ")";
+        }
+        for (const LocateStep& loc : n.locates) {
+            os << "; locate " << slotVarName(loc.slot) << " in level "
+               << loc.level
+               << (loc.binarySearch ? " (binary search)" : " (offset)");
+        }
+        os << "\n";
+        indent += "  ";
+    }
+    os << indent << "compute " << algorithmInfo(alg_).einsum;
+    if (leaf_.vectorIndex >= 0) {
+        os << "  [vector tail over "
+           << algorithmInfo(alg_).indexNames[leaf_.vectorIndex] << "]";
+    }
+    os << "\n";
+    return os.str();
+}
+
+LoopNest
+lower(const SuperSchedule& s, const ProblemShape& shape)
+{
+    validateSchedule(s, shape);
+    const auto& info = algorithmInfo(s.alg);
+
+    LoopNest nest;
+    nest.alg_ = s.alg;
+    nest.shape_ = shape;
+    for (u32 idx = 0; idx < info.numIndices; ++idx)
+        nest.splits_[idx] = std::min(s.splits[idx], shape.indexExtent[idx]);
+
+    const auto loops = activeLoopOrder(s);
+    nest.levelSlots_ = activeSparseLevelOrder(s);
+    nest.levelFormats_ = activeSparseLevelFormats(s);
+    const u32 num_levels = static_cast<u32>(nest.levelSlots_.size());
+    nest.levelConcordant_.assign(num_levels, true);
+
+    auto level_of_slot = [&](u32 slot) -> int {
+        for (u32 l = 0; l < num_levels; ++l) {
+            if (nest.levelSlots_[l] == slot)
+                return static_cast<int>(l);
+        }
+        return -1;
+    };
+
+    // Walk the compute loop order, resolving A's storage levels in level
+    // order. A level whose slot-loop opens while an earlier level is still
+    // unresolved becomes a full-coordinate Dense loop; it is located (by
+    // offset or binary search) once the levels above it have been traversed.
+    u32 next_level = 0;
+    for (std::size_t pos = 0; pos < loops.size(); ++pos) {
+        u32 slot = loops[pos];
+        LoopNode node;
+        node.slot = slot;
+        node.extent = slotExtent(s, shape, slot);
+        if (slot == s.parallelSlot) {
+            node.parallel = true;
+            node.chunk = s.ompChunk;
+        }
+        int level = level_of_slot(slot);
+        if (level >= 0 && static_cast<u32>(level) == next_level) {
+            node.kind = LoopKind::Sparse;
+            node.level = level;
+            ++next_level;
+            // Deeper levels whose loops already ran further out are
+            // resolved here, in level order.
+            while (next_level < num_levels) {
+                u32 dslot = nest.levelSlots_[next_level];
+                bool opened_above = false;
+                for (std::size_t q = 0; q < pos; ++q)
+                    opened_above |= (loops[q] == dslot);
+                if (!opened_above)
+                    break;
+                node.locates.push_back(
+                    {next_level, dslot,
+                     nest.levelFormats_[next_level] ==
+                         LevelFormat::Compressed});
+                nest.levelConcordant_[next_level] = false;
+                ++next_level;
+            }
+        } else {
+            node.kind = LoopKind::Dense;
+            node.level = level; // -1 for dense-only indices
+        }
+        nest.loops_.push_back(std::move(node));
+    }
+    panicIf(next_level != num_levels,
+            "lowering left storage levels unresolved");
+
+    nest.leaf_.alg = s.alg;
+    nest.leaf_.vectorIndex = -1;
+    if (!nest.loops_.empty()) {
+        const LoopNode& last = nest.loops_.back();
+        u32 idx = slotIndex(last.slot);
+        if (last.kind == LoopKind::Dense && last.level < 0 &&
+            nest.splits_[idx] == 1) {
+            nest.leaf_.vectorIndex = static_cast<int>(idx);
+        }
+    }
+    return nest;
+}
+
+ProblemShape
+shapeForFormat(Algorithm alg, const FormatDescriptor& desc, u32 dense_extent)
+{
+    const auto& info = algorithmInfo(alg);
+    fatalIf(desc.order() != info.sparseOrder,
+            "format order does not match the algorithm's sparse tensor");
+    if (info.sparseOrder == 3) {
+        return ProblemShape::forTensor3(alg, desc.dims()[0], desc.dims()[1],
+                                        desc.dims()[2], dense_extent);
+    }
+    return ProblemShape::forMatrix(alg, desc.dims()[0], desc.dims()[1],
+                                   dense_extent);
+}
+
+SuperSchedule
+storageOrderSchedule(Algorithm alg, const FormatDescriptor& desc)
+{
+    const auto& info = algorithmInfo(alg);
+    fatalIf(desc.order() != info.sparseOrder,
+            "format order does not match the algorithm's sparse tensor");
+
+    SuperSchedule s;
+    s.alg = alg;
+    s.splits = {1, 1, 1, 1};
+    for (u32 d = 0; d < desc.order(); ++d)
+        s.splits[info.indexOfSparseDim(d)] = desc.splits()[d];
+
+    // Format half: the descriptor's levels verbatim, with the degenerate
+    // inner slots of unsplit dimensions appended (validateSchedule requires
+    // a full permutation; activeSparseLevelOrder strips them again).
+    for (const LevelSpec& lv : desc.levels()) {
+        u32 idx = info.indexOfSparseDim(lv.dim);
+        s.sparseLevelOrder.push_back(
+            lv.part == LevelPart::Inner ? innerSlot(idx) : outerSlot(idx));
+        s.sparseLevelFormats.push_back(lv.fmt);
+    }
+    for (u32 d = 0; d < desc.order(); ++d) {
+        if (desc.splits()[d] == 1) {
+            s.sparseLevelOrder.push_back(
+                innerSlot(info.indexOfSparseDim(d)));
+            s.sparseLevelFormats.push_back(LevelFormat::Uncompressed);
+        }
+    }
+
+    // Compute half: traverse storage concordantly, dense-only loops
+    // innermost (where the per-nonzero dense work runs), degenerate slots
+    // wherever (they are elided).
+    std::vector<bool> placed(2 * info.numIndices, false);
+    auto push = [&](u32 slot) {
+        if (!placed[slot]) {
+            s.loopOrder.push_back(slot);
+            placed[slot] = true;
+        }
+    };
+    for (const LevelSpec& lv : desc.levels()) {
+        u32 idx = info.indexOfSparseDim(lv.dim);
+        push(lv.part == LevelPart::Inner ? innerSlot(idx) : outerSlot(idx));
+    }
+    for (u32 idx = 0; idx < info.numIndices; ++idx) {
+        if (info.sparseDim[idx] < 0) {
+            push(outerSlot(idx));
+            push(innerSlot(idx));
+        }
+    }
+    for (u32 slot = 0; slot < 2 * info.numIndices; ++slot)
+        push(slot);
+
+    // Parallel annotation: the outermost non-reduction slot (the executor
+    // decides at run time whether the top loop is actually chunked).
+    s.parallelSlot = 0;
+    for (u32 slot : s.loopOrder) {
+        if (!info.isReduction[slotIndex(slot)] && !slotDegenerate(s, slot)) {
+            s.parallelSlot = slot;
+            break;
+        }
+    }
+    s.numThreads = 48;
+    s.ompChunk = 32;
+    for (const auto& op : info.denseOperands)
+        s.denseRowMajor.push_back(op.rowMajorDefault);
+    return s;
+}
+
+LoopNest
+lowerStorageOrder(Algorithm alg, const FormatDescriptor& desc,
+                  u32 dense_extent)
+{
+    ProblemShape shape = shapeForFormat(alg, desc, dense_extent);
+    SuperSchedule s = storageOrderSchedule(alg, desc);
+    LoopNest nest = lower(s, shape);
+    panicIf(!(formatOf(s, shape) == desc),
+            "storage-order schedule does not reproduce the format");
+    return nest;
+}
+
+} // namespace waco

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Lowered loop-nest IR: the single shared representation of what a
+ * SuperSchedule *means* operationally.
+ *
+ * lower(SuperSchedule, ProblemShape) turns the schedule's declarative
+ * parameters (splits, loop order, format level order/formats, parallel
+ * annotation) into an explicit nest of typed loop nodes:
+ *
+ *  - Dense:  a full-coordinate loop over one slot — either a dense-only
+ *            index of the algorithm, or a sparse slot whose loop is ordered
+ *            *discordantly* with A's storage level order (its storage level
+ *            is resolved later by a locate step).
+ *  - Sparse: a concordant traversal of the next storage level of A
+ *            (0..extent for an Uncompressed level, pos/crd iteration for a
+ *            Compressed one).
+ *
+ * A Sparse node carries the locate steps that fire once its level binds:
+ * every deeper level whose loop ran further out (discordant) is resolved
+ * there — by direct offset for U levels, by binary search over crd for C
+ * levels (Section 3.1's discordant-traversal cost made explicit).
+ *
+ * Exactly one compute leaf per algorithm sits under the innermost loop.
+ *
+ * Three consumers share this IR so they can never drift apart:
+ *  - exec/loopnest_exec.cpp interprets it (the real execution engine),
+ *  - codegen/emit.cpp pretty-prints it as TACO-style C,
+ *  - perfmodel/cost_model.cpp walks it for traversal/locality terms.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/schedule.hpp"
+
+namespace waco {
+
+/** Kind of one loop node in the lowered nest. */
+enum class LoopKind : unsigned char
+{
+    Dense,  ///< Full coordinate loop over one slot.
+    Sparse, ///< Concordant traversal of one storage level of A.
+};
+
+/** Resolve a storage level whose loop ran discordantly further out. */
+struct LocateStep
+{
+    u32 level;         ///< Storage level of A being resolved.
+    u32 slot;          ///< Slot whose already-bound coordinate is located.
+    bool binarySearch; ///< C level: search crd; U level: direct offset.
+};
+
+/** One loop of the lowered nest, outermost first. */
+struct LoopNode
+{
+    LoopKind kind = LoopKind::Dense;
+    u32 slot = 0;   ///< Slot this loop iterates.
+    u32 extent = 0; ///< Trip count (coordinate range; C levels vary per run).
+    /** Storage level of A: the traversed level for Sparse nodes, the level
+     *  this slot belongs to for discordant Dense nodes, -1 for dense-only
+     *  indices. */
+    int level = -1;
+    bool parallel = false; ///< Schedule's parallel annotation.
+    u32 chunk = 0;         ///< Annotated OpenMP-dynamic chunk size.
+    /** Levels resolved right after each iteration of this loop binds. */
+    std::vector<LocateStep> locates;
+};
+
+/** The single compute statement under the innermost loop. */
+struct ComputeLeaf
+{
+    Algorithm alg = Algorithm::SpMV;
+    /**
+     * Dense-only index whose full, unsplit loop is the innermost node of
+     * the nest, or -1. Executor leaves may fuse that loop into a tight
+     * (vectorizable) tail instead of recursing per element; the emitter
+     * still prints it as an ordinary loop.
+     */
+    int vectorIndex = -1;
+};
+
+/**
+ * A fully lowered sparse tensor program: an ordered nest of loop nodes over
+ * the storage levels of A plus one compute leaf. Immutable after lower().
+ */
+class LoopNest
+{
+  public:
+    Algorithm alg() const { return alg_; }
+    const ProblemShape& shape() const { return shape_; }
+    const std::vector<LoopNode>& loops() const { return loops_; }
+    const ComputeLeaf& leaf() const { return leaf_; }
+
+    /** Number of storage levels of A (== formatOf(...).numLevels()). */
+    u32 numLevels() const { return static_cast<u32>(levelSlots_.size()); }
+    /** Slot traversed/located at storage level @p l. */
+    u32 levelSlot(u32 l) const { return levelSlots_[l]; }
+    /** Level format of storage level @p l. */
+    LevelFormat levelFormat(u32 l) const { return levelFormats_[l]; }
+    /** True when level @p l is traversed by a Sparse node (concordant),
+     *  false when a LocateStep resolves it. */
+    bool levelConcordant(u32 l) const { return levelConcordant_[l]; }
+
+    /** Effective (extent-clamped) split size of index @p idx. */
+    u32 splitOf(u32 idx) const { return splits_[idx]; }
+
+    /**
+     * Position of @p slot in the nest, outermost = 0. Degenerate inner
+     * slots (split 1) execute "at" their outer half's position, matching
+     * how TACO elides extent-1 loops.
+     */
+    u32 loopPositionOf(u32 slot) const;
+
+    /** Loop variable name of the node at @p depth ("i", "k0", ...). */
+    std::string varName(u32 depth) const;
+    /** Loop variable name for an arbitrary slot. */
+    std::string slotVarName(u32 slot) const;
+
+    /** Multi-line human-readable dump (debugging / logging). */
+    std::string describe() const;
+
+  private:
+    friend LoopNest lower(const SuperSchedule& s, const ProblemShape& shape);
+
+    Algorithm alg_ = Algorithm::SpMV;
+    ProblemShape shape_;
+    std::array<u32, 4> splits_ = {1, 1, 1, 1};
+    std::vector<LoopNode> loops_;
+    ComputeLeaf leaf_;
+    std::vector<u32> levelSlots_;
+    std::vector<LevelFormat> levelFormats_;
+    std::vector<bool> levelConcordant_;
+};
+
+/**
+ * Lower a SuperSchedule to its loop nest. Validates the schedule; throws
+ * FatalError for malformed schedules (same contract as validateSchedule).
+ */
+LoopNest lower(const SuperSchedule& s, const ProblemShape& shape);
+
+/**
+ * The concordant SuperSchedule that describes iterating a tensor exactly in
+ * the storage order of @p desc, with the algorithm's dense-only loops
+ * innermost — what the format-generic kernels execute for an arbitrary
+ * pre-built HierSparseTensor. formatOf(result, shape) reproduces @p desc.
+ */
+SuperSchedule storageOrderSchedule(Algorithm alg, const FormatDescriptor& desc);
+
+/** ProblemShape matching @p desc's dimensions, with @p dense_extent (or the
+ *  algorithm default when 0) for dense-only indices. */
+ProblemShape shapeForFormat(Algorithm alg, const FormatDescriptor& desc,
+                            u32 dense_extent = 0);
+
+/** Convenience: lower the storage-order schedule of @p desc. */
+LoopNest lowerStorageOrder(Algorithm alg, const FormatDescriptor& desc,
+                           u32 dense_extent = 0);
+
+} // namespace waco

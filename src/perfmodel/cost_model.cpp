@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <queue>
-#include <unordered_set>
+#include <thread>
+
+#include "util/thread_pool.hpp"
 
 namespace waco {
 
@@ -12,6 +14,16 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kLineBytes = 64.0;
+
+/** Nonzero count above which pattern scans fan out over the global pool. */
+constexpr u64 kParallelScanNnz = 1ull << 16;
+
+u32
+scanThreads()
+{
+    u32 hw = std::max(1u, std::thread::hardware_concurrency());
+    return std::min(hw, 8u);
+}
 
 /** Mixing step for coordinate-tuple hashing. */
 u64
@@ -42,11 +54,18 @@ class LinearCounter
     void
     insert(u64 h)
     {
-        h ^= h >> 33;
-        h *= 0xff51afd7ed558ccdull;
-        h ^= h >> 29;
-        u64 bit = h & (kBits - 1);
+        u64 bit = mix(h);
         bits_[bit >> 6] |= 1ull << (bit & 63);
+    }
+
+    /** Thread-safe insert: OR is commutative, so concurrent insertion is
+     *  deterministic regardless of interleaving. */
+    void
+    insertAtomic(u64 h)
+    {
+        u64 bit = mix(h);
+        __atomic_fetch_or(&bits_[bit >> 6], 1ull << (bit & 63),
+                          __ATOMIC_RELAXED);
     }
 
     double
@@ -64,21 +83,31 @@ class LinearCounter
     }
 
   private:
+    static u64
+    mix(u64 h)
+    {
+        h ^= h >> 33;
+        h *= 0xff51afd7ed558ccdull;
+        h ^= h >> 29;
+        return h & (kBits - 1);
+    }
+
     static constexpr u64 kBits = 1ull << 22; // 4M bits = 512 KiB
     static constexpr u64 kWords = kBits / 64;
     std::vector<u64> bits_;
 };
 
-/** Per-nonzero coordinate of a slot (outer: c/split, inner: c%split). */
+/** Per-nonzero coordinate of a slot (outer: c/split, inner: c%split).
+ *  Uses the nest's extent-clamped splits. */
 u32
-slotCoordOf(const SuperSchedule& s, const AlgorithmInfo& info, u32 slot,
-            const std::array<u32, 3>& coords, const ProblemShape& shape)
+slotCoordOf(const LoopNest& nest, const AlgorithmInfo& info, u32 slot,
+            const std::array<u32, 3>& coords)
 {
     u32 idx = slotIndex(slot);
     int d = info.sparseDim[idx];
     panicIf(d < 0, "slotCoordOf on a dense-only index");
     u32 c = coords[d];
-    u32 split = std::min(s.splits[idx], shape.indexExtent[idx]);
+    u32 split = nest.splitOf(idx);
     return slotIsInner(slot) ? c % split : c / split;
 }
 
@@ -91,13 +120,13 @@ RuntimeOracle::measure(const SparseMatrix& m, const ProblemShape& shape,
     ++measurements_;
     Measurement out;
     try {
-        validateSchedule(s, shape);
+        LoopNest nest = lower(s, shape); // validates the schedule
         auto fmt = HierSparseTensor::build(formatOf(s, shape), m,
                                            maxFormatBytes_);
         std::vector<std::array<u32, 3>> coords(m.nnz());
         for (u64 n = 0; n < m.nnz(); ++n)
             coords[n] = {m.rowIndices()[n], m.colIndices()[n], 0};
-        return measureImpl(coords, m.nnz(), shape, s, fmt);
+        return measureImpl(coords, m.nnz(), shape, s, nest, fmt);
     } catch (const FatalError& e) {
         out.valid = false;
         out.invalidReason = e.what();
@@ -113,13 +142,13 @@ RuntimeOracle::measure(const Sparse3Tensor& t, const ProblemShape& shape,
     ++measurements_;
     Measurement out;
     try {
-        validateSchedule(s, shape);
+        LoopNest nest = lower(s, shape); // validates the schedule
         auto fmt = HierSparseTensor::build(formatOf(s, shape), t,
                                            maxFormatBytes_);
         std::vector<std::array<u32, 3>> coords(t.nnz());
         for (u64 n = 0; n < t.nnz(); ++n)
             coords[n] = {t.iIndices()[n], t.kIndices()[n], t.lIndices()[n]};
-        return measureImpl(coords, t.nnz(), shape, s, fmt);
+        return measureImpl(coords, t.nnz(), shape, s, nest, fmt);
     } catch (const FatalError& e) {
         out.valid = false;
         out.invalidReason = e.what();
@@ -142,7 +171,7 @@ RuntimeOracle::conversionSeconds(u64 nnz, u64 stored_values) const
 Measurement
 RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
                            u64 nnz, const ProblemShape& shape,
-                           const SuperSchedule& s,
+                           const SuperSchedule& s, const LoopNest& nest,
                            const HierSparseTensor& fmt) const
 {
     const auto& info = algorithmInfo(s.alg);
@@ -151,24 +180,13 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
     out.storedValues = fmt.storedValues();
     out.formatBytes = fmt.bytes();
 
-    const auto loops = activeLoopOrder(s);
-    const auto level_slots = activeSparseLevelOrder(s);
+    // All loop/level structure comes from the lowered nest — the same IR
+    // the interpreter executes and the emitter prints.
+    const std::vector<LoopNode>& loops = nest.loops();
     const u32 num_loops = static_cast<u32>(loops.size());
-    const u32 num_levels = static_cast<u32>(level_slots.size());
+    const u32 num_levels = nest.numLevels();
 
-    auto loop_pos = [&](u32 slot) -> u32 {
-        // Degenerate inner slots execute "at" their outer half's position.
-        for (u32 p = 0; p < num_loops; ++p) {
-            if (loops[p] == slot)
-                return p;
-        }
-        u32 outer = outerSlot(slotIndex(slot));
-        for (u32 p = 0; p < num_loops; ++p) {
-            if (loops[p] == outer)
-                return p;
-        }
-        panic("slot not found in loop order");
-    };
+    auto loop_pos = [&](u32 slot) { return nest.loopPositionOf(slot); };
 
     auto dense_only = [&](u32 idx) { return info.sparseDim[idx] < 0; };
 
@@ -176,8 +194,8 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
     auto dense_mult_before = [&](u32 pos) {
         double m = 1.0;
         for (u32 p = 0; p < pos && p < num_loops; ++p) {
-            if (dense_only(slotIndex(loops[p])))
-                m *= slotExtent(s, shape, loops[p]);
+            if (dense_only(slotIndex(loops[p].slot)))
+                m *= loops[p].extent;
         }
         return m;
     };
@@ -185,7 +203,7 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
     std::vector<double> level_visits(num_levels, 1.0);
     u32 deepest_sparse_pos = 0;
     for (u32 l = 0; l < num_levels; ++l) {
-        u32 p = loop_pos(level_slots[l]);
+        u32 p = loop_pos(nest.levelSlot(l));
         level_visits[l] = dense_mult_before(p);
         deepest_sparse_pos = std::max(deepest_sparse_pos, p);
     }
@@ -205,9 +223,9 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
     bool simd = false;
     double simd_factor = 1.0;
     if (num_loops > 0) {
-        u32 inner = loops[num_loops - 1];
+        u32 inner = loops[num_loops - 1].slot;
         u32 inner_idx = slotIndex(inner);
-        u32 trip = slotExtent(s, shape, inner);
+        u32 trip = loops[num_loops - 1].extent;
         bool contiguous = false;
         if (dense_only(inner_idx)) {
             // Vector code needs a dense operand contiguous along this index.
@@ -226,7 +244,7 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
             // values only when it is the last storage level, e.g. the UCU
             // SpMV of Figure 14.
             contiguous = num_levels > 0 &&
-                         level_slots[num_levels - 1] == inner &&
+                         nest.levelSlot(num_levels - 1) == inner &&
                          fmt.levels()[num_levels - 1].fmt ==
                              LevelFormat::Uncompressed;
         }
@@ -259,7 +277,7 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
     double discord_cycles = 0.0;
     for (u32 l1 = 0; l1 < num_levels; ++l1) {
         for (u32 l2 = l1 + 1; l2 < num_levels; ++l2) {
-            if (loop_pos(level_slots[l2]) < loop_pos(level_slots[l1])) {
+            if (loop_pos(nest.levelSlot(l2)) < loop_pos(nest.levelSlot(l1))) {
                 const BuiltLevel& deeper = fmt.levels()[l2];
                 double parent = std::max<double>(
                     1.0, static_cast<double>(
@@ -326,8 +344,8 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
         if (has_contig && dense_only(contig_idx)) {
             double inner_extent = 1.0;
             for (u32 p = boundary + 1; p < num_loops; ++p) {
-                if (slotIndex(loops[p]) == contig_idx)
-                    inner_extent *= slotExtent(s, shape, loops[p]);
+                if (slotIndex(loops[p].slot) == contig_idx)
+                    inner_extent *= loops[p].extent;
             }
             fetch_bytes = 4.0 * std::max(1.0, inner_extent);
             dense_outer_mult = shape.indexExtent[contig_idx] /
@@ -340,12 +358,12 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
         // Dense-only loops of indices not appearing in this operand re-run
         // the whole access stream when placed outside the row boundary.
         for (u32 p = 0; p < boundary && p < num_loops; ++p) {
-            u32 ix = slotIndex(loops[p]);
+            u32 ix = slotIndex(loops[p].slot);
             bool in_op = false;
             for (u32 di : d.indices)
                 in_op |= (di == ix);
             if (dense_only(ix) && !in_op)
-                dense_outer_mult *= slotExtent(s, shape, loops[p]);
+                dense_outer_mult *= loops[p].extent;
         }
 
         // Key slots: sparse slots running outside the row boundary,
@@ -355,7 +373,7 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
         // chunk is what makes per-chunk row reuse fit the LLC.
         std::vector<u32> key_slots;
         for (u32 p = 0; p < boundary && p < num_loops; ++p) {
-            u32 slot = loops[p];
+            u32 slot = loops[p].slot;
             if (!dense_only(slotIndex(slot)))
                 key_slots.push_back(slot);
         }
@@ -370,15 +388,29 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
         static thread_local LinearCounter counter;
         auto count_distinct = [&](u32 prefix_len, bool with_row) {
             counter.reset();
-            for (u64 n = 0; n < nnz; ++n) {
+            auto hash_of = [&](u64 n) {
                 u64 h = 0x12345;
                 for (u32 kq = 0; kq < prefix_len; ++kq) {
-                    h = hashCombine(h, slotCoordOf(s, info, key_slots[kq],
-                                                   coords[n], shape));
+                    h = hashCombine(h, slotCoordOf(nest, info, key_slots[kq],
+                                                   coords[n]));
                 }
                 if (with_row)
                     h = hashCombine(h, coords[n][rd] / line_div);
-                counter.insert(h);
+                return h;
+            };
+            if (nnz >= kParallelScanNnz) {
+                // Bitmap OR is order-independent, so the estimate is
+                // deterministic no matter how the scan is chunked.
+                u32 threads = scanThreads();
+                globalPool().ensureWorkers(threads - 1);
+                globalPool().parallelFor(
+                    nnz, 1u << 13, threads, [&](u64 b, u64 e) {
+                        for (u64 n = b; n < e; ++n)
+                            counter.insertAtomic(hash_of(n));
+                    });
+            } else {
+                for (u64 n = 0; n < nnz; ++n)
+                    counter.insert(hash_of(n));
             }
             return counter.estimate();
         };
@@ -445,7 +477,7 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
     // Work outside the parallel loop runs serially.
     double outside_cycles = 0.0;
     for (u32 l = 0; l < num_levels; ++l) {
-        if (loop_pos(level_slots[l]) < p_pos) {
+        if (loop_pos(nest.levelSlot(l)) < p_pos) {
             const BuiltLevel& bl = fmt.levels()[l];
             double per = bl.fmt == LevelFormat::Uncompressed
                 ? mc.uncompressedLevelCycles
@@ -462,7 +494,7 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
     double launches = dense_mult_before(p_pos);
     double deepest_outside_positions = 1.0;
     for (u32 l = 0; l < num_levels; ++l) {
-        if (loop_pos(level_slots[l]) < p_pos) {
+        if (loop_pos(nest.levelSlot(l)) < p_pos) {
             deepest_outside_positions = std::max(
                 deepest_outside_positions,
                 static_cast<double>(fmt.levels()[l].numPositions));
@@ -483,7 +515,7 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
                 h = 1.0 / p_extent;
         } else {
             for (u64 n = 0; n < nnz; ++n)
-                hist[slotCoordOf(s, info, p_slot, coords[n], shape)] += 1.0;
+                hist[slotCoordOf(nest, info, p_slot, coords[n])] += 1.0;
             double total_w = static_cast<double>(nnz);
             for (auto& h : hist)
                 h /= total_w;

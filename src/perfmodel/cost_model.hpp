@@ -19,7 +19,11 @@
  *
  * Everything is a deterministic function of (pattern, format, schedule,
  * machine), so "measurements" are reproducible and the learned cost model
- * has a well-defined target.
+ * has a well-defined target. The oracle walks the same lowered LoopNest
+ * (ir/loopnest.hpp) the interpreter executes, and its pattern scans fan
+ * out over the persistent thread pool for large inputs (the bitmap-OR
+ * distinct counting is order-independent, so parallelism does not change
+ * any estimate).
  */
 #pragma once
 
@@ -28,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/loopnest.hpp"
 #include "ir/schedule.hpp"
 #include "perfmodel/machine.hpp"
 #include "tensor/coo.hpp"
@@ -123,9 +128,12 @@ class RuntimeOracle : public MeasurementBackend
     u64 measurementCount() const override { return measurements_; }
 
   private:
+    /** The analytical model proper. Walks the lowered @p nest for all loop
+     *  and level structure (positions, extents, discordance) — the same IR
+     *  the interpreter executes — instead of re-deriving it from @p s. */
     Measurement measureImpl(const std::vector<std::array<u32, 3>>& coords,
                             u64 nnz, const ProblemShape& shape,
-                            const SuperSchedule& s,
+                            const SuperSchedule& s, const LoopNest& nest,
                             const HierSparseTensor& fmt) const;
 
     MachineConfig machine_;
