@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
-#include <unordered_set>
 
 namespace waco {
 
@@ -37,14 +36,62 @@ Hnsw::Hnsw(u32 dim, u32 m, u32 ef_construction, u64 seed)
 }
 
 double
-Hnsw::l2(const float* a, const float* b) const
+Hnsw::l2Distance(const float* a, const float* b, u32 dim)
+{
+    // Accumulate in independent float lanes and reduce once: the loop
+    // carries no serial dependence, so it vectorizes without reassociating
+    // a scalar reduction.
+    float l0 = 0, l1 = 0, l2 = 0, l3 = 0;
+    u32 i = 0;
+    for (; i + 4 <= dim; i += 4) {
+        float d0 = a[i + 0] - b[i + 0];
+        float d1 = a[i + 1] - b[i + 1];
+        float d2 = a[i + 2] - b[i + 2];
+        float d3 = a[i + 3] - b[i + 3];
+        l0 += d0 * d0;
+        l1 += d1 * d1;
+        l2 += d2 * d2;
+        l3 += d3 * d3;
+    }
+    float s = (l0 + l2) + (l1 + l3);
+    for (; i < dim; ++i) {
+        float d = a[i] - b[i];
+        s += d * d;
+    }
+    return static_cast<double>(s);
+}
+
+double
+Hnsw::l2Reference(const float* a, const float* b, u32 dim)
 {
     double s = 0.0;
-    for (u32 i = 0; i < dim_; ++i) {
+    for (u32 i = 0; i < dim; ++i) {
         double d = static_cast<double>(a[i]) - b[i];
         s += d * d;
     }
     return s;
+}
+
+void
+Hnsw::beginVisit() const
+{
+    if (visitStamp_.size() < levels_.size())
+        visitStamp_.resize(levels_.size(), visitEpoch_);
+    ++visitEpoch_;
+    if (visitEpoch_ == 0) {
+        // u32 wrap: every stale stamp could alias the new epoch, so clear.
+        std::fill(visitStamp_.begin(), visitStamp_.end(), 0u);
+        visitEpoch_ = 1;
+    }
+}
+
+bool
+Hnsw::tryVisit(u32 id) const
+{
+    if (visitStamp_[id] == visitEpoch_)
+        return false;
+    visitStamp_[id] = visitEpoch_;
+    return true;
 }
 
 u32
@@ -72,18 +119,18 @@ Hnsw::beamAt(const float* q, u32 entry, u32 layer, u32 ef) const
 {
     std::priority_queue<HnswHit, std::vector<HnswHit>, NearFirst> candidates;
     std::priority_queue<HnswHit, std::vector<HnswHit>, FarFirst> results;
-    std::unordered_set<u32> visited;
+    beginVisit();
     double d0 = l2(q, vec(entry));
     candidates.push({entry, d0});
     results.push({entry, d0});
-    visited.insert(entry);
+    tryVisit(entry);
     while (!candidates.empty()) {
         HnswHit c = candidates.top();
         candidates.pop();
         if (c.dist > results.top().dist && results.size() >= ef)
             break;
         for (u32 nb : links_[layer][c.id]) {
-            if (!visited.insert(nb).second)
+            if (!tryVisit(nb))
                 continue;
             double d = l2(q, vec(nb));
             if (results.size() < ef || d < results.top().dist) {
@@ -115,8 +162,13 @@ Hnsw::add(const float* v)
     levels_.push_back(level);
     while (links_.size() <= level)
         links_.emplace_back();
-    for (auto& layer : links_)
-        layer.resize(size());
+    // Lazy link-table growth: layer l is only indexed by nodes that exist
+    // at layer l, so it only needs to cover ids up to the newest such node
+    // — not be resized for every insert at every layer (O(L*N) churn).
+    for (u32 l = 0; l <= level; ++l) {
+        if (links_[l].size() <= id)
+            links_[l].resize(id + 1);
+    }
 
     if (id == 0) {
         entry_ = 0;
@@ -137,12 +189,22 @@ Hnsw::add(const float* v)
             links_[l][id].push_back(nb);
             links_[l][nb].push_back(id);
             // Prune the neighbor's list to the closest `links` entries.
+            // Distances are computed once up front: a comparator that
+            // recomputes l2 per comparison turns the sort into
+            // O(n log n) full-vector distance evaluations.
             if (links_[l][nb].size() > links) {
                 auto& lst = links_[l][nb];
-                std::sort(lst.begin(), lst.end(), [&](u32 a, u32 b) {
-                    return l2(vec(nb), vec(a)) < l2(vec(nb), vec(b));
-                });
-                lst.resize(links);
+                std::vector<std::pair<double, u32>> scored;
+                scored.reserve(lst.size());
+                for (u32 x : lst)
+                    scored.push_back({l2(vec(nb), vec(x)), x});
+                std::sort(scored.begin(), scored.end(),
+                          [](const auto& a, const auto& b) {
+                              return a.first < b.first;
+                          });
+                lst.clear();
+                for (u32 t2 = 0; t2 < links; ++t2)
+                    lst.push_back(scored[t2].second);
             }
         }
         cur = beam.empty() ? cur : beam.front().id;
@@ -175,34 +237,62 @@ std::vector<HnswHit>
 Hnsw::searchGeneric(const std::function<double(u32)>& score, u32 k, u32 ef,
                     u64* evals) const
 {
+    // Pointwise scoring is the degenerate batch; share one implementation
+    // so the two walks cannot drift apart.
+    return searchGenericBatched(
+        [&](const u32* ids, u32 count, double* out) {
+            for (u32 i = 0; i < count; ++i)
+                out[i] = score(ids[i]);
+        },
+        k, ef, evals);
+}
+
+std::vector<HnswHit>
+Hnsw::searchGenericBatched(const BatchScoreFn& score, u32 k, u32 ef,
+                           u64* evals) const
+{
     if (size() == 0)
         return {};
-    auto eval = [&](u32 id) {
-        if (evals)
-            ++(*evals);
-        return score(id);
-    };
     // Start from the global entry point and walk layer 0 under the generic
-    // distance with a beam of width ef.
+    // distance with a beam of width ef. Each expansion scores every
+    // unvisited neighbor of the popped node in one batch, then replays the
+    // scores through the heaps in neighbor order — the same sequence of
+    // pushes a pointwise walk performs, so results are identical.
     std::priority_queue<HnswHit, std::vector<HnswHit>, NearFirst> candidates;
     std::priority_queue<HnswHit, std::vector<HnswHit>, FarFirst> results;
-    std::unordered_set<u32> visited;
-    double d0 = eval(entry_);
+    beginVisit();
+    std::vector<u32> batch_ids;
+    std::vector<double> batch_scores;
+    u32 seed_id = entry_;
+    double d0 = 0.0;
+    score(&seed_id, 1, &d0);
+    if (evals)
+        ++(*evals);
     candidates.push({entry_, d0});
     results.push({entry_, d0});
-    visited.insert(entry_);
+    tryVisit(entry_);
     while (!candidates.empty()) {
         HnswHit c = candidates.top();
         candidates.pop();
         if (results.size() >= ef && c.dist > results.top().dist)
             break;
+        batch_ids.clear();
         for (u32 nb : links_[0][c.id]) {
-            if (!visited.insert(nb).second)
-                continue;
-            double d = eval(nb);
+            if (tryVisit(nb))
+                batch_ids.push_back(nb);
+        }
+        if (batch_ids.empty())
+            continue;
+        batch_scores.resize(batch_ids.size());
+        score(batch_ids.data(), static_cast<u32>(batch_ids.size()),
+              batch_scores.data());
+        if (evals)
+            *evals += batch_ids.size();
+        for (std::size_t i = 0; i < batch_ids.size(); ++i) {
+            double d = batch_scores[i];
             if (results.size() < ef || d < results.top().dist) {
-                candidates.push({nb, d});
-                results.push({nb, d});
+                candidates.push({batch_ids[i], d});
+                results.push({batch_ids[i], d});
                 if (results.size() > ef)
                     results.pop();
             }

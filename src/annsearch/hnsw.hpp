@@ -7,8 +7,17 @@
  * WACO does NOT query with a vector: it walks the same graph greedily under
  * a *generic* distance — the cost model's predicted runtime — which the KNN
  * graph's small-world property supports (Tan et al. [44]). searchGeneric()
- * implements that walk; searchKnn() is the classic vector query (used by
- * tests and the graph-quality diagnostics).
+ * implements that walk; searchGenericBatched() is the same walk but scores
+ * each expanded node's unvisited neighbors in ONE callback, so a learned
+ * scorer can amortize its MLP into a real batched GEMM instead of
+ * batch-size-1 calls. Both walks visit nodes in the same order and return
+ * identical hits. searchKnn() is the classic vector query (used by tests
+ * and the graph-quality diagnostics).
+ *
+ * Queries share an epoch-stamped visited array instead of building an
+ * unordered_set per call, so the index is NOT safe for concurrent queries
+ * from multiple threads (match the rest of the tuner, which queries from
+ * one thread).
  */
 #pragma once
 
@@ -63,14 +72,46 @@ class Hnsw
         const std::function<double(u32)>& score, u32 k, u32 ef,
         u64* evals = nullptr) const;
 
+    /**
+     * Batched scorer: fill out[0..count) with the scores of ids[0..count).
+     * Called once per expanded node with all its unvisited neighbors.
+     */
+    using BatchScoreFn =
+        std::function<void(const u32* ids, u32 count, double* out)>;
+
+    /**
+     * searchGeneric with frontier-batched scoring: every expansion collects
+     * the popped node's unvisited neighbors and issues a single score call
+     * for the whole set. Visit order, eval count, and returned hits are
+     * identical to searchGeneric with a pointwise scorer computing the
+     * same values.
+     */
+    std::vector<HnswHit> searchGenericBatched(const BatchScoreFn& score,
+                                              u32 k, u32 ef,
+                                              u64* evals = nullptr) const;
+
     /** Layer-0 adjacency of a node (for diagnostics/tests). */
     const std::vector<u32>& neighbors(u32 id) const
     {
         return links_[0][id];
     }
 
+    /**
+     * Squared l2 accumulated in float lanes with a single final reduction
+     * (the SIMD-friendly kernel the index uses everywhere). Exposed so
+     * tests can pin its recall against l2Reference.
+     */
+    static double l2Distance(const float* a, const float* b, u32 dim);
+
+    /** Element-by-element double-precision reference distance. */
+    static double l2Reference(const float* a, const float* b, u32 dim);
+
   private:
-    double l2(const float* a, const float* b) const;
+    double
+    l2(const float* a, const float* b) const
+    {
+        return l2Distance(a, b, dim_);
+    }
     const float* vec(u32 id) const { return data_.data() + static_cast<std::size_t>(id) * dim_; }
 
     /** Greedy descent to the closest node at a layer. */
@@ -79,6 +120,12 @@ class Hnsw
     /** Beam search at one layer; returns up to ef closest. */
     std::vector<HnswHit> beamAt(const float* q, u32 entry, u32 layer,
                                 u32 ef) const;
+
+    /** Start a fresh visited epoch (resets lazily via stamping). */
+    void beginVisit() const;
+
+    /** Mark a node visited; false when already visited this epoch. */
+    bool tryVisit(u32 id) const;
 
     u32 dim_;
     u32 m_;
@@ -89,6 +136,11 @@ class Hnsw
     std::vector<std::vector<std::vector<u32>>> links_; ///< [layer][node] -> nbrs.
     u32 entry_ = 0;
     u32 max_level_ = 0;
+
+    // Epoch-stamped visited set shared across queries: visited iff
+    // stamp[id] == epoch. Avoids an unordered_set allocation per query.
+    mutable std::vector<u32> visitStamp_;
+    mutable u32 visitEpoch_ = 0;
 };
 
 } // namespace waco

@@ -105,19 +105,21 @@ WacoTuner::tuneImpl(
     nn::Mat feature = model_->extractFeature(pattern);
     out.featureSeconds = feature_timer.seconds();
 
-    // Phase 2: ANNS over the KNN graph; only the predictor head runs.
+    // Phase 2: ANNS over the KNN graph; only the predictor head runs. The
+    // feature's first-layer partial product is hoisted once per query, and
+    // every frontier expansion scores its whole neighbor set through one
+    // batched GEMM against the precomputed node embeddings.
     Timer search_timer;
-    nn::Mat one(1, node_embeddings_.cols);
-    auto score = [&](u32 id) {
-        std::copy(node_embeddings_.row(id),
-                  node_embeddings_.row(id) + node_embeddings_.cols,
-                  one.row(0));
-        nn::Mat pred = model_->predictFromEmbeddings(feature, one);
-        return static_cast<double>(pred.at(0, 0));
+    auto query = model_->beginQuery(feature);
+    Hnsw::BatchScoreFn score = [&](const u32* ids, u32 count, double* dst) {
+        nn::Mat pred = model_->scoreEmbeddings(query, node_embeddings_, ids,
+                                               count);
+        for (u32 i = 0; i < count; ++i)
+            dst[i] = static_cast<double>(pred.at(i, 0));
     };
-    auto hits = graph_->searchGeneric(score, opt_.topK,
-                                      std::max(opt_.efSearch, opt_.topK),
-                                      &out.costEvaluations);
+    auto hits = graph_->searchGenericBatched(
+        score, opt_.topK, std::max(opt_.efSearch, opt_.topK),
+        &out.costEvaluations);
     out.searchSeconds = search_timer.seconds();
 
     // Phase 3: re-measure the top-k on the "hardware" and keep the fastest

@@ -126,6 +126,13 @@ class WacoTuner
     /** Schedules indexed by the KNN graph (exposed for benches/tests). */
     const std::vector<SuperSchedule>& graphSchedules() const { return nodes_; }
 
+    /** Precomputed program embeddings of the graph nodes, row n = node n
+     *  (embedded once after training, reused by every tune query). */
+    const nn::Mat& nodeEmbeddings() const { return node_embeddings_; }
+
+    /** The KNN graph itself (exposed for benches/tests). */
+    const Hnsw& graph() const { return *graph_; }
+
     /** The labeled dataset from the last train() call. */
     const CostDataset& dataset() const { return dataset_; }
 

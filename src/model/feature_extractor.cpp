@@ -74,10 +74,14 @@ class WacoNet final : public FeatureExtractor
         map.dim = dim_;
         map.coords = in.coords;
         map.feats = Mat(map.numSites(), 1, 1.0f);
+        // The rulebook chain depends only on the coordinates, so repeated
+        // forwards over one pattern (training epochs, tuner queries) reuse
+        // the cached gather geometry across every layer.
+        const auto& chain = rulebooks_.chain(in.coords, convs_);
         Mat concat(1, cfg_.numLayers * cfg_.channels);
         site_counts_.clear();
         for (u32 l = 0; l < cfg_.numLayers; ++l) {
-            map = convs_[l].forward(map);
+            map = convs_[l].forward(map, chain[l]);
             map = relus_[l].forward(map);
             Mat pooled = pools_[l].forward(map);
             std::copy(pooled.v.begin(), pooled.v.end(),
@@ -130,6 +134,7 @@ class WacoNet final : public FeatureExtractor
     std::vector<SparseReLU> relus_;
     std::vector<GlobalAvgPool> pools_;
     std::vector<u32> site_counts_;
+    nn::RulebookCache rulebooks_;
     MLP head_;
 };
 
@@ -158,8 +163,9 @@ class MinkowskiNetExtractor final : public FeatureExtractor
         map.dim = dim_;
         map.coords = in.coords;
         map.feats = Mat(map.numSites(), 1, 1.0f);
+        const auto& chain = rulebooks_.chain(in.coords, convs_);
         for (std::size_t l = 0; l < convs_.size(); ++l) {
-            map = convs_[l].forward(map);
+            map = convs_[l].forward(map, chain[l]);
             map = relus_[l].forward(map);
         }
         Mat pooled = pool_.forward(map);
@@ -193,6 +199,7 @@ class MinkowskiNetExtractor final : public FeatureExtractor
     ExtractorConfig cfg_;
     std::vector<SparseConv> convs_;
     std::vector<SparseReLU> relus_;
+    nn::RulebookCache rulebooks_;
     GlobalAvgPool pool_;
     MLP head_;
 };
@@ -253,8 +260,11 @@ class DenseConvExtractor final : public FeatureExtractor
             map.feats.at(static_cast<u32>(cell), 0) =
                 it == counts.end() ? 0.0f : std::log1p(it->second);
         }
+        // The grid coordinate set is identical for every input, so the
+        // rulebook chain is built exactly once per extractor.
+        const auto& chain = rulebooks_.chain(map.coords, convs_);
         for (std::size_t l = 0; l < convs_.size(); ++l) {
-            map = convs_[l].forward(map);
+            map = convs_[l].forward(map, chain[l]);
             map = relus_[l].forward(map);
         }
         Mat pooled = pool_.forward(map);
@@ -288,6 +298,7 @@ class DenseConvExtractor final : public FeatureExtractor
     ExtractorConfig cfg_;
     std::vector<SparseConv> convs_;
     std::vector<SparseReLU> relus_;
+    nn::RulebookCache rulebooks_;
     GlobalAvgPool pool_;
     MLP head_;
 };

@@ -52,6 +52,56 @@ WacoCostModel::predictFromEmbeddings(const Mat& feature, const Mat& embeddings)
     return predictor_.forward(x);
 }
 
+WacoCostModel::PredictorQuery
+WacoCostModel::beginQuery(const Mat& feature) const
+{
+    panicIf(feature.rows != 1 || feature.cols != feature_dim_,
+            "feature shape mismatch");
+    const nn::Linear& l0 = predictor_.firstLayer();
+    const Mat& w0 = l0.weight(); // [H0 x (F + E)]
+    u32 h0 = w0.rows;
+    u32 emb_dim = w0.cols - feature_dim_;
+    PredictorQuery q;
+    q.featPreact = Mat(1, h0);
+    q.wEmb = Mat(h0, emb_dim);
+    const float* f = feature.row(0);
+    for (u32 h = 0; h < h0; ++h) {
+        const float* wrow = w0.row(h);
+        float acc = l0.bias().at(0, h);
+        for (u32 c = 0; c < feature_dim_; ++c)
+            acc += f[c] * wrow[c];
+        q.featPreact.at(0, h) = acc;
+        std::copy(wrow + feature_dim_, wrow + w0.cols, q.wEmb.row(h));
+    }
+    return q;
+}
+
+Mat
+WacoCostModel::scoreEmbeddings(const PredictorQuery& q, const Mat& embeddings,
+                               const u32* ids, u32 count) const
+{
+    u32 emb_dim = q.wEmb.cols;
+    panicIf(embeddings.cols != emb_dim, "embedding width mismatch");
+    Mat batch(count, emb_dim);
+    for (u32 n = 0; n < count; ++n) {
+        u32 row = ids ? ids[n] : n;
+        std::copy(embeddings.row(row), embeddings.row(row) + emb_dim,
+                  batch.row(n));
+    }
+    // First-layer pre-activation: the hoisted feature partial plus the
+    // embedding block's GEMM — one real matrix multiply per batch instead
+    // of a broadcast copy and a batch-of-1 forward per candidate.
+    Mat y1;
+    nn::matmulNT(batch, q.wEmb, y1);
+    for (u32 n = 0; n < count; ++n) {
+        float* row = y1.row(n);
+        const float* fp = q.featPreact.row(0);
+        for (u32 h = 0; h < y1.cols; ++h)
+            row[h] += fp[h];
+    }
+    return predictor_.inferenceFromFirstPreact(std::move(y1));
+}
+
 Mat
 WacoCostModel::predict(const Mat& feature,
                        const std::vector<SuperSchedule>& batch)

@@ -56,6 +56,34 @@ class WacoCostModel
     nn::Mat predictFromEmbeddings(const nn::Mat& feature,
                                   const nn::Mat& embeddings);
 
+    /**
+     * Per-query state for the batched inference engine: the feature row's
+     * partial product through the predictor's first layer, hoisted so the
+     * search loop never re-multiplies (or even re-copies) the broadcast
+     * feature, plus the first layer's embedding-column block.
+     */
+    struct PredictorQuery
+    {
+        nn::Mat featPreact; ///< [1 x H0]: feature . W0_feat^T + b0.
+        nn::Mat wEmb;       ///< [H0 x E]: W0 columns for the embedding half.
+    };
+
+    /** Hoist one query feature through the predictor's first layer. */
+    PredictorQuery beginQuery(const nn::Mat& feature) const;
+
+    /**
+     * Inference-only batched scoring: predictions for @p count rows of
+     * @p embeddings selected by @p ids (or rows [0, count) when @p ids is
+     * null), as a [count x 1] column. Up to rounding (the feature partial
+     * is pre-reduced), equals predictFromEmbeddings on the same rows, and
+     * is bitwise-identical across batch splits: scoring ids one at a time
+     * gives exactly the same column as one call — what makes batched and
+     * scalar graph walks return identical hits.
+     */
+    nn::Mat scoreEmbeddings(const PredictorQuery& q,
+                            const nn::Mat& embeddings, const u32* ids,
+                            u32 count) const;
+
     /** Outcome of one guarded optimizer step. */
     struct StepOutcome
     {

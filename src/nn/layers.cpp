@@ -18,6 +18,20 @@ Linear::forward(const Mat& x)
 }
 
 Mat
+Linear::inference(const Mat& x) const
+{
+    panicIf(x.cols != w_.w.cols, "Linear input width mismatch");
+    Mat y;
+    matmulNT(x, w_.w, y);
+    for (u32 r = 0; r < y.rows; ++r) {
+        float* yr = y.row(r);
+        for (u32 c = 0; c < y.cols; ++c)
+            yr[c] += b_.w.at(0, c);
+    }
+    return y;
+}
+
+Mat
 Linear::backward(const Mat& dy)
 {
     panicIf(dy.cols != w_.w.rows || dy.rows != x_.rows,
@@ -72,6 +86,40 @@ MLP::forward(const Mat& x)
         h = layers_[l].forward(h);
         if (l + 1 < layers_.size())
             h = relus_[l].forward(h);
+    }
+    return h;
+}
+
+Mat
+MLP::inference(const Mat& x) const
+{
+    Mat h = x;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        h = layers_[l].inference(h);
+        if (l + 1 < layers_.size()) {
+            for (auto& v : h.v)
+                v = v > 0.0f ? v : 0.0f;
+        }
+    }
+    return h;
+}
+
+Mat
+MLP::inferenceFromFirstPreact(Mat y1) const
+{
+    panicIf(y1.cols != layers_.front().outDim(),
+            "first-layer preactivation width mismatch");
+    if (layers_.size() > 1) {
+        for (auto& v : y1.v)
+            v = v > 0.0f ? v : 0.0f;
+    }
+    Mat h = std::move(y1);
+    for (std::size_t l = 1; l < layers_.size(); ++l) {
+        h = layers_[l].inference(h);
+        if (l + 1 < layers_.size()) {
+            for (auto& v : h.v)
+                v = v > 0.0f ? v : 0.0f;
+        }
     }
     return h;
 }

@@ -57,8 +57,15 @@ class Linear
     /** Forward pass; caches x for backward. */
     Mat forward(const Mat& x);
 
+    /** Forward without caching activations — inference only, const, no
+     *  backward possible afterwards. */
+    Mat inference(const Mat& x) const;
+
     /** Backward pass: accumulates dW/db and returns dx. */
     Mat backward(const Mat& dy);
+
+    const Mat& weight() const { return w_.w; } ///< [out x in].
+    const Mat& bias() const { return b_.w; }   ///< [1 x out].
 
     void
     collectParams(std::vector<Param*>& out)
@@ -95,7 +102,20 @@ class MLP
     Mat forward(const Mat& x);
     Mat backward(const Mat& dy);
 
+    /** Forward without caching activations (inference only, const). */
+    Mat inference(const Mat& x) const;
+
+    /**
+     * Inference given the FIRST layer's pre-activation (x W0^T + b0)
+     * already computed: applies the first ReLU then the remaining layers.
+     * Lets callers that know part of x is constant (the broadcast feature
+     * row of the runtime predictor) hoist its W0 partial product out of
+     * the per-batch work.
+     */
+    Mat inferenceFromFirstPreact(Mat y1) const;
+
     u32 outDim() const { return layers_.back().outDim(); }
+    const Linear& firstLayer() const { return layers_.front(); }
     void collectParams(std::vector<Param*>& out);
 
   private:

@@ -3,6 +3,20 @@
  * Minimal dense row-major float matrix used by the neural-network stack.
  * Deliberately separate from tensor/dense.hpp: kernels there model the
  * *workload*; this type is plumbing for the cost model's own math.
+ *
+ * The matmul family dispatches to register-blocked, cache-friendly kernels
+ * whose inner loops are written for autovectorization (contiguous j-loops
+ * for the saxpy forms, explicit float lanes for the dot-product form).
+ * Large row panels are farmed out to the process-wide ThreadPool. The
+ * original scalar implementations are kept verbatim under nn::naive as
+ * differential-test references, and setGemmKind(GemmKind::Naive) routes
+ * every call through them so benches can measure old-vs-new on identical
+ * call sites.
+ *
+ * Summation order differs between the blocked and naive kernels, so results
+ * agree exactly only when products and partial sums are exactly
+ * representable (e.g. integer-valued floats — what the differential tests
+ * use) and to rounding error otherwise.
  */
 #pragma once
 
@@ -43,5 +57,32 @@ void matmulNT(const Mat& a, const Mat& b, Mat& c);
 
 /** C += A * B. */
 void matmulAcc(const Mat& a, const Mat& b, Mat& c);
+
+/**
+ * C += A * B, never using the ThreadPool. Required inside
+ * ThreadPool::parallelFor bodies: parallelFor is not reentrant, so a
+ * worker spawning a nested parallel matmul would deadlock on the caller
+ * mutex.
+ */
+void matmulAccSerial(const Mat& a, const Mat& b, Mat& c);
+
+/** Which kernel family the matmul entry points dispatch to. */
+enum class GemmKind
+{
+    Blocked, ///< Register-blocked + ThreadPool panels (default).
+    Naive,   ///< The original scalar loops (nn::naive), for benches.
+};
+
+/** Process-wide kernel selection (benches flip it for old-vs-new rows). */
+void setGemmKind(GemmKind kind);
+GemmKind gemmKind();
+
+/** The pre-optimization scalar kernels, kept as differential references. */
+namespace naive {
+void matmul(const Mat& a, const Mat& b, Mat& c);
+void matmulTN(const Mat& a, const Mat& b, Mat& c);
+void matmulNT(const Mat& a, const Mat& b, Mat& c);
+void matmulAcc(const Mat& a, const Mat& b, Mat& c);
+} // namespace naive
 
 } // namespace waco::nn

@@ -1,5 +1,9 @@
 #include "nn/sparse_conv.hpp"
 
+#include <atomic>
+
+#include "util/thread_pool.hpp"
+
 namespace waco::nn {
 
 namespace {
@@ -22,7 +26,27 @@ struct CoordHash
 
 using CoordMap = std::unordered_map<std::array<i32, 3>, u32, CoordHash>;
 
+std::atomic<bool> g_rulebook_cache_enabled{true};
+
+/** Work threshold before the execute step engages the ThreadPool. */
+constexpr u64 kParallelPairFlops = u64(1) << 20;
+
+/** Gather pairs per ThreadPool chunk (before output-site alignment). */
+constexpr u64 kPairChunk = 4096;
+
 } // namespace
+
+void
+setRulebookCacheEnabled(bool enabled)
+{
+    g_rulebook_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+rulebookCacheEnabled()
+{
+    return g_rulebook_cache_enabled.load(std::memory_order_relaxed);
+}
 
 SparseConv::SparseConv(u32 dim, u32 kernel, u32 stride, u32 in_ch, u32 out_ch,
                        Rng& rng)
@@ -55,24 +79,20 @@ SparseConv::SparseConv(u32 dim, u32 kernel, u32 stride, u32 in_ch, u32 out_ch,
     b_.init(rng, fan_in);
 }
 
-SparseMap
-SparseConv::forward(const SparseMap& in)
+Rulebook
+SparseConv::buildRulebook(const std::vector<std::array<i32, 3>>& coords) const
 {
-    panicIf(in.feats.cols != inCh_, "sparse conv channel mismatch");
-    in_feats_ = in.feats;
-    in_sites_ = in.numSites();
-
-    SparseMap out;
-    out.dim = in.dim;
+    Rulebook rb;
+    rb.inSites = static_cast<u32>(coords.size());
 
     CoordMap out_index;
-    out_index.reserve(in.numSites() * 2);
+    out_index.reserve(coords.size() * 2);
 
     if (stride_ == 1) {
         // Submanifold: output sites == input sites.
-        out.coords = in.coords;
-        for (u32 i = 0; i < in.numSites(); ++i)
-            out_index.emplace(in.coords[i], i);
+        rb.outCoords = coords;
+        for (u32 i = 0; i < rb.inSites; ++i)
+            out_index.emplace(coords[i], i);
     } else {
         // Strided (MinkowskiEngine semantics): output sites live on the
         // coarse grid at floor(p / stride), so each layer strictly
@@ -80,66 +100,143 @@ SparseConv::forward(const SparseMap& in)
         auto floor_div = [](i32 x, i32 s) {
             return x >= 0 ? x / s : -((-x + s - 1) / s);
         };
-        for (u32 i = 0; i < in.numSites(); ++i) {
+        for (u32 i = 0; i < rb.inSites; ++i) {
             std::array<i32, 3> t = {0, 0, 0};
             for (u32 d = 0; d < dim_; ++d)
-                t[d] = floor_div(in.coords[i][d], static_cast<i32>(stride_));
-            if (out_index.emplace(t, static_cast<u32>(out.coords.size()))
+                t[d] = floor_div(coords[i][d], static_cast<i32>(stride_));
+            if (out_index.emplace(t, static_cast<u32>(rb.outCoords.size()))
                     .second) {
-                out.coords.push_back(t);
+                rb.outCoords.push_back(t);
             }
         }
     }
 
     // Gather pair lists per offset: input p contributes to output q when
-    // p == q*stride + off.
-    pairs_.assign(offsets_.size(), {});
+    // p == q*stride + off. Iterating q outer keeps each per-offset list
+    // sorted by output site, which the execute step relies on for
+    // conflict-free parallel scatter.
+    rb.pairs.assign(offsets_.size(), {});
     CoordMap in_index;
-    in_index.reserve(in.numSites() * 2);
-    for (u32 i = 0; i < in.numSites(); ++i)
-        in_index.emplace(in.coords[i], i);
+    in_index.reserve(coords.size() * 2);
+    for (u32 i = 0; i < rb.inSites; ++i)
+        in_index.emplace(coords[i], i);
 
-    for (u32 q = 0; q < out.coords.size(); ++q) {
+    for (u32 q = 0; q < rb.outCoords.size(); ++q) {
         for (std::size_t o = 0; o < offsets_.size(); ++o) {
             std::array<i32, 3> p = {0, 0, 0};
             for (u32 d = 0; d < dim_; ++d) {
-                p[d] = out.coords[q][d] * static_cast<i32>(stride_) +
+                p[d] = rb.outCoords[q][d] * static_cast<i32>(stride_) +
                        offsets_[o][d];
             }
             auto it = in_index.find(p);
             if (it != in_index.end())
-                pairs_[o].push_back({it->second, q});
+                rb.pairs[o].push_back({it->second, q});
         }
     }
+    return rb;
+}
 
-    out.feats = Mat(static_cast<u32>(out.coords.size()), outCh_);
+SparseMap
+SparseConv::forward(const SparseMap& in, const Rulebook& rb)
+{
+    panicIf(in.feats.cols != inCh_, "sparse conv channel mismatch");
+    panicIf(rb.inSites != in.numSites() || rb.pairs.size() != offsets_.size(),
+            "rulebook does not match this layer/input");
+    in_feats_ = in.feats;
+    active_ = &rb;
+
+    SparseMap out;
+    out.dim = in.dim;
+    out.coords = rb.outCoords;
+    out.feats = Mat(static_cast<u32>(rb.outCoords.size()), outCh_);
     for (u32 q = 0; q < out.feats.rows; ++q) {
         float* orow = out.feats.row(q);
         for (u32 c = 0; c < outCh_; ++c)
             orow[c] = b_.w.at(0, c);
     }
-    for (std::size_t o = 0; o < offsets_.size(); ++o) {
-        const Mat& w = w_[o].w;
-        for (const auto& [pi, qi] : pairs_[o]) {
-            const float* irow = in_feats_.row(pi);
-            float* orow = out.feats.row(qi);
-            for (u32 ci = 0; ci < inCh_; ++ci) {
-                float x = irow[ci];
-                if (x == 0.0f)
-                    continue;
-                const float* wrow = w.row(ci);
-                for (u32 co = 0; co < outCh_; ++co)
-                    orow[co] += x * wrow[co];
+
+    if (gemmKind() == GemmKind::Naive) {
+        // The pre-optimization execute: one saxpy per (pair, input channel)
+        // with a zero-skip branch, kept callable for old-vs-new benches.
+        for (std::size_t o = 0; o < offsets_.size(); ++o) {
+            const Mat& w = w_[o].w;
+            for (const auto& [pi, qi] : rb.pairs[o]) {
+                const float* irow = in_feats_.row(pi);
+                float* orow = out.feats.row(qi);
+                for (u32 ci = 0; ci < inCh_; ++ci) {
+                    float x = irow[ci];
+                    if (x == 0.0f)
+                        continue;
+                    const float* wrow = w.row(ci);
+                    for (u32 co = 0; co < outCh_; ++co)
+                        orow[co] += x * wrow[co];
+                }
             }
+        }
+        return out;
+    }
+
+    // Gather -> GEMM -> scatter per offset. Chunks of the pair list are
+    // extended to output-site boundaries (lists are sorted by output site),
+    // so each chunk's scatter rows are disjoint: workers accumulate into
+    // private gather/result buffers and write back conflict-free.
+    for (std::size_t o = 0; o < offsets_.size(); ++o) {
+        const auto& pairs = rb.pairs[o];
+        if (pairs.empty())
+            continue;
+        const Mat& w = w_[o].w;
+        auto execute = [&](u64 begin, u64 end) {
+            // Shift both ends forward past any run of the previous chunk's
+            // trailing output site; the same rule on both sides yields an
+            // exact partition of the list.
+            while (begin > 0 && begin < pairs.size() &&
+                   pairs[begin].second == pairs[begin - 1].second)
+                ++begin;
+            while (end < pairs.size() &&
+                   pairs[end].second == pairs[end - 1].second)
+                ++end;
+            if (begin >= end)
+                return;
+            u32 n = static_cast<u32>(end - begin);
+            Mat gather(n, inCh_);
+            for (u32 r = 0; r < n; ++r) {
+                const float* src = in_feats_.row(pairs[begin + r].first);
+                std::copy(src, src + inCh_, gather.row(r));
+            }
+            Mat partial(n, outCh_);
+            matmulAccSerial(gather, w, partial);
+            for (u32 r = 0; r < n; ++r) {
+                float* orow = out.feats.row(pairs[begin + r].second);
+                const float* prow = partial.row(r);
+                for (u32 co = 0; co < outCh_; ++co)
+                    orow[co] += prow[co];
+            }
+        };
+        u64 flops = u64(pairs.size()) * inCh_ * outCh_;
+        if (flops >= kParallelPairFlops && globalPool().workers() > 0 &&
+            pairs.size() > kPairChunk) {
+            globalPool().parallelFor(pairs.size(), kPairChunk,
+                                     globalPool().workers() + 1, execute);
+        } else {
+            execute(0, pairs.size());
         }
     }
     return out;
 }
 
+SparseMap
+SparseConv::forward(const SparseMap& in)
+{
+    own_ = buildRulebook(in.coords);
+    return forward(in, own_);
+}
+
 Mat
 SparseConv::backward(const Mat& d_out)
 {
-    Mat d_in(in_sites_, inCh_);
+    panicIf(!active_, "SparseConv::backward without a forward");
+    const Rulebook& rb = *active_;
+    Mat d_in(rb.inSites, inCh_);
     for (u32 q = 0; q < d_out.rows; ++q) {
         const float* drow = d_out.row(q);
         for (u32 c = 0; c < outCh_; ++c)
@@ -148,7 +245,7 @@ SparseConv::backward(const Mat& d_out)
     for (std::size_t o = 0; o < offsets_.size(); ++o) {
         const Mat& w = w_[o].w;
         Mat& gw = w_[o].g;
-        for (const auto& [pi, qi] : pairs_[o]) {
+        for (const auto& [pi, qi] : rb.pairs[o]) {
             const float* irow = in_feats_.row(pi);
             const float* drow = d_out.row(qi);
             float* dirow = d_in.row(pi);
@@ -174,6 +271,72 @@ SparseConv::collectParams(std::vector<Param*>& out)
     for (auto& w : w_)
         out.push_back(&w);
     out.push_back(&b_);
+}
+
+u64
+RulebookCache::fingerprint(const std::vector<std::array<i32, 3>>& coords)
+{
+    u64 h = 0xcbf29ce484222325ull ^ coords.size();
+    for (const auto& c : coords) {
+        for (i32 x : c) {
+            h ^= static_cast<u64>(static_cast<u32>(x));
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+const std::vector<Rulebook>&
+RulebookCache::chain(const std::vector<std::array<i32, 3>>& coords,
+                     std::vector<SparseConv>& convs)
+{
+    auto build = [&](std::vector<Rulebook>& out) {
+        out.clear();
+        out.reserve(convs.size());
+        const std::vector<std::array<i32, 3>>* cur = &coords;
+        for (auto& conv : convs) {
+            out.push_back(conv.buildRulebook(*cur));
+            cur = &out.back().outCoords;
+        }
+    };
+
+    if (!rulebookCacheEnabled()) {
+        ++misses_;
+        build(scratch_);
+        return scratch_;
+    }
+
+    u64 key = fingerprint(coords);
+    if (auto it = index_.find(key); it != index_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return lru_.front().chain;
+    }
+
+    ++misses_;
+    Entry e;
+    e.key = key;
+    build(e.chain);
+    for (const auto& rb : e.chain)
+        e.pairEntries += rb.pairCount();
+    totalPairs_ += e.pairEntries;
+    lru_.push_front(std::move(e));
+    index_[key] = lru_.begin();
+    while (totalPairs_ > kMaxPairEntries && lru_.size() > 1) {
+        totalPairs_ -= lru_.back().pairEntries;
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+    }
+    return lru_.front().chain;
+}
+
+void
+RulebookCache::clear()
+{
+    lru_.clear();
+    index_.clear();
+    scratch_.clear();
+    totalPairs_ = 0;
 }
 
 Mat

@@ -15,10 +15,23 @@
  * Coordinates are D-dimensional (D = 2 for matrices, 3 for MTTKRP tensors);
  * the same layer code serves both, as the paper notes WACONet extends to
  * higher-order tensors by changing the filter dimension.
+ *
+ * The forward pass is split into two phases:
+ *
+ *  1. buildRulebook(): coordinate hash maps -> output sites + per-offset
+ *     (input site, output site) pair lists. This depends only on the input
+ *     coordinates, never on features or weights, so a RulebookCache reuses
+ *     it across every forward over the same pattern — all epochs of
+ *     training and every tuner query re-walking the same conv stack.
+ *  2. forward(in, rulebook): gather -> GEMM -> scatter per offset. Pair
+ *     lists are sorted by output site, so the execute step can split them
+ *     at output-site boundaries and scatter from per-thread accumulators
+ *     without write conflicts.
  */
 #pragma once
 
 #include <array>
+#include <list>
 #include <unordered_map>
 #include <vector>
 
@@ -35,6 +48,30 @@ struct SparseMap
     Mat feats;                                ///< [numSites x channels].
 
     u32 numSites() const { return static_cast<u32>(coords.size()); }
+};
+
+/**
+ * The geometry of one conv layer applied to one coordinate set: output
+ * sites plus, per filter offset, the (input site, output site) gather
+ * pairs, each list sorted by output site. Built once per input pattern and
+ * reused by every forward/backward over that pattern.
+ */
+struct Rulebook
+{
+    std::vector<std::array<i32, 3>> outCoords;
+    u32 inSites = 0;
+    /** [offset] -> (input row, output row), ascending in output row. */
+    std::vector<std::vector<std::pair<u32, u32>>> pairs;
+
+    /** Total gather pairs across all offsets (cache accounting). */
+    u64
+    pairCount() const
+    {
+        u64 n = 0;
+        for (const auto& p : pairs)
+            n += p.size();
+        return n;
+    }
 };
 
 /** Sparse convolution with square/cubic kernels and stride 1 or 2. */
@@ -54,7 +91,17 @@ class SparseConv
     u32 inChannels() const { return inCh_; }
     u32 outChannels() const { return outCh_; }
 
-    /** Forward pass; caches the gather/scatter pairs for backward. */
+    /** Build the gather/scatter geometry for an input coordinate set. */
+    Rulebook buildRulebook(const std::vector<std::array<i32, 3>>& coords) const;
+
+    /**
+     * Forward through a prebuilt rulebook (must have been built from
+     * in.coords by this layer). @p rb must stay alive until the matching
+     * backward() returns; caches the features for backward.
+     */
+    SparseMap forward(const SparseMap& in, const Rulebook& rb);
+
+    /** Forward building a fresh rulebook (owned by the layer). */
     SparseMap forward(const SparseMap& in);
 
     /** Backward from d(out feats); accumulates dW/db, returns d(in feats). */
@@ -72,11 +119,64 @@ class SparseConv
     std::vector<Param> w_; ///< One [inCh x outCh] filter per offset.
     Param b_;              ///< [1 x outCh].
 
-    // Cached from forward: per-offset (input site, output site) pairs.
-    std::vector<std::vector<std::pair<u32, u32>>> pairs_;
+    // Cached from forward, consumed by backward.
+    Rulebook own_;               ///< Used by the fresh-rulebook forward.
+    const Rulebook* active_ = nullptr;
     Mat in_feats_;
-    u32 in_sites_ = 0;
 };
+
+/**
+ * Cache of rulebook *chains*: the per-layer rulebooks a conv stack builds
+ * for one input coordinate set. Keyed by a coordinate fingerprint, evicted
+ * LRU under a total gather-pair budget so one huge pattern cannot pin
+ * unbounded memory. Enabled process-wide by default; benches flip
+ * setRulebookCacheEnabled(false) to measure the rebuild-every-forward
+ * pre-optimization path.
+ */
+class RulebookCache
+{
+  public:
+    /** 64-bit FNV fingerprint of a coordinate set. */
+    static u64 fingerprint(const std::vector<std::array<i32, 3>>& coords);
+
+    /**
+     * The rulebook chain for @p convs applied to @p coords: chain[l] is
+     * convs[l]'s rulebook, each layer consuming the previous layer's
+     * output sites. Built (and cached) on miss. The returned reference is
+     * valid until the next chain() call on this cache.
+     */
+    const std::vector<Rulebook>& chain(
+        const std::vector<std::array<i32, 3>>& coords,
+        std::vector<SparseConv>& convs);
+
+    void clear();
+
+    /** Cache hits/misses since construction (bench diagnostics). */
+    u64 hits() const { return hits_; }
+    u64 misses() const { return misses_; }
+
+    /** Gather-pair budget across all cached chains. */
+    static constexpr u64 kMaxPairEntries = u64(8) << 20;
+
+  private:
+    struct Entry
+    {
+        u64 key = 0;
+        u64 pairEntries = 0;
+        std::vector<Rulebook> chain;
+    };
+
+    std::list<Entry> lru_; ///< Front = most recent.
+    std::unordered_map<u64, std::list<Entry>::iterator> index_;
+    std::vector<Rulebook> scratch_; ///< Rebuilt-per-call path when disabled.
+    u64 totalPairs_ = 0;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+};
+
+/** Process-wide toggle for every RulebookCache (bench/test knob). */
+void setRulebookCacheEnabled(bool enabled);
+bool rulebookCacheEnabled();
 
 /** Mean over all sites -> a [1 x C] row (per-layer pooling in Figure 9). */
 class GlobalAvgPool
