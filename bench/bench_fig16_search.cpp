@@ -22,8 +22,9 @@ using namespace waco;
 using namespace waco::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseObservabilityFlags(argc, argv);
     setLogLevel(LogLevel::Warn);
     Timer total;
     printHeader("Figure 16a", "Search strategies on the SpMM cost model "
@@ -103,6 +104,7 @@ main()
     std::printf("(Paper: ANNS dominates below ~1.5M nnz; the sparse-conv "
                 "feature extractor dominates beyond, since its cost scales "
                 "with the number of nonzeros.)\n");
+    writeObservabilityOutputs();
     std::printf("[bench completed in %.1fs]\n", total.seconds());
     return 0;
 }

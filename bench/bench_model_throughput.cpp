@@ -86,6 +86,7 @@ sameHits(const std::vector<HnswHit>& a, const std::vector<HnswHit>& b)
 int
 main(int argc, char** argv)
 {
+    argc = parseObservabilityFlags(argc, argv);
     bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
     setLogLevel(LogLevel::Warn);
     Timer total;
@@ -303,6 +304,7 @@ main(int argc, char** argv)
         std::printf("wrote BENCH_model.json\n");
     }
 
+    writeObservabilityOutputs();
     std::printf("[bench completed in %.1fs]\n", total.seconds());
     if (!identical) {
         std::fprintf(stderr,

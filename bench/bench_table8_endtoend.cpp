@@ -71,8 +71,9 @@ scenarioTable(const std::string& alg_name,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    parseObservabilityFlags(argc, argv);
     setLogLevel(LogLevel::Warn);
     Timer total;
     printHeader("Table 8", "Real-world scenarios: when does each "
@@ -144,6 +145,7 @@ main()
     }
     std::printf("\n(Paper: MKL wins the 0-run case, BestFormat small N, "
                 "WACO from ~1.5K runs on SpMV / ~115 on SpMM upward.)\n");
+    writeObservabilityOutputs();
     std::printf("[bench completed in %.1fs]\n", total.seconds());
     return 0;
 }

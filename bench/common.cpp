@@ -1,13 +1,61 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace waco::bench {
+
+namespace {
+
+std::string g_trace_path;
+std::string g_metrics_path;
+
+} // namespace
+
+int
+parseObservabilityFlags(int argc, char** argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string* dst = nullptr;
+        if (!std::strcmp(argv[i], "--trace-out"))
+            dst = &g_trace_path;
+        else if (!std::strcmp(argv[i], "--metrics-out"))
+            dst = &g_metrics_path;
+        if (dst && i + 1 < argc) {
+            *dst = argv[++i];
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    if (!g_trace_path.empty())
+        trace::setEnabled(true);
+    if (!g_metrics_path.empty())
+        metrics::setEnabled(true);
+    for (int i = out; i < argc; ++i)
+        argv[i] = nullptr;
+    return out;
+}
+
+void
+writeObservabilityOutputs()
+{
+    if (!g_trace_path.empty()) {
+        trace::writeChromeTrace(g_trace_path);
+        std::printf("wrote Chrome trace to %s\n", g_trace_path.c_str());
+    }
+    if (!g_metrics_path.empty()) {
+        metrics::writeMetricsJson(g_metrics_path);
+        std::printf("wrote metrics to %s\n", g_metrics_path.c_str());
+    }
+}
 
 void
 printHeader(const std::string& experiment_id, const std::string& title)

@@ -22,6 +22,17 @@
 
 namespace waco::bench {
 
+/**
+ * Scan argv for `--trace-out FILE` / `--metrics-out FILE`, enable the
+ * corresponding observability subsystem, and remember each path. The
+ * consumed flags are compacted out of argv; returns the new argc, so
+ * benches can keep their own positional parsing unchanged.
+ */
+int parseObservabilityFlags(int argc, char** argv);
+
+/** Write the trace/metrics files requested by parseObservabilityFlags. */
+void writeObservabilityOutputs();
+
 /** Print a banner naming the table/figure being reproduced. */
 void printHeader(const std::string& experiment_id, const std::string& title);
 

@@ -13,6 +13,7 @@
  * Usage: example_tune_cli [spmv|spmm|sddmm] [matrix.mtx]
  *          [--faults P] [--noise SIGMA] [--timeout SECS]
  *          [--retries N] [--median K] [--checkpoint FILE]
+ *          [--trace-out FILE] [--metrics-out FILE]
  */
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +26,8 @@
 #include "perfmodel/faulty_oracle.hpp"
 #include "tensor/mmio.hpp"
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 using namespace waco;
 
@@ -36,7 +39,8 @@ usage(const char* argv0)
     std::fprintf(stderr,
                  "usage: %s [spmv|spmm|sddmm] [matrix.mtx]\n"
                  "          [--faults P] [--noise SIGMA] [--timeout SECS]\n"
-                 "          [--retries N] [--median K] [--checkpoint FILE]\n",
+                 "          [--retries N] [--median K] [--checkpoint FILE]\n"
+                 "          [--trace-out FILE] [--metrics-out FILE]\n",
                  argv0);
     std::exit(2);
 }
@@ -53,6 +57,7 @@ run(int argc, char** argv)
     bool faulty = false;
     RetryPolicy retry;
     std::string checkpoint_path;
+    std::string trace_path, metrics_path;
 
     for (int i = 1; i < argc; ++i) {
         auto num = [&](double lo) {
@@ -86,12 +91,27 @@ run(int argc, char** argv)
             if (i + 1 >= argc)
                 usage(argv[0]);
             checkpoint_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--trace-out")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            trace_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--metrics-out")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            metrics_path = argv[++i];
         } else if (argv[i][0] != '-' && matrix_path.empty()) {
             matrix_path = argv[i];
         } else {
             usage(argv[0]);
         }
     }
+
+    // Observability is off by default; either output flag switches the
+    // whole pipeline to instrumented mode before any work starts.
+    if (!trace_path.empty())
+        trace::setEnabled(true);
+    if (!metrics_path.empty())
+        metrics::setEnabled(true);
 
     Rng rng(77);
     SparseMatrix m = !matrix_path.empty()
@@ -172,6 +192,15 @@ run(int argc, char** argv)
     }
     std::printf("\n--- generated C (TACO-style) ---\n%s",
                 emitC(outcome.best, shape).c_str());
+    if (!trace_path.empty()) {
+        trace::writeChromeTrace(trace_path);
+        std::printf("\nwrote Chrome trace to %s (chrome://tracing)\n",
+                    trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        metrics::writeMetricsJson(metrics_path);
+        std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    }
     return 0;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <queue>
 
+#include "util/metrics.hpp"
+
 namespace waco {
 
 namespace {
@@ -95,15 +97,17 @@ Hnsw::tryVisit(u32 id) const
 }
 
 u32
-Hnsw::greedyAt(const float* q, u32 entry, u32 layer) const
+Hnsw::greedyAt(const float* q, u32 entry, u32 layer, u64* evals) const
 {
     u32 cur = entry;
     double cur_d = l2(q, vec(cur));
+    ++*evals;
     bool improved = true;
     while (improved) {
         improved = false;
         for (u32 nb : links_[layer][cur]) {
             double d = l2(q, vec(nb));
+            ++*evals;
             if (d < cur_d) {
                 cur_d = d;
                 cur = nb;
@@ -115,12 +119,13 @@ Hnsw::greedyAt(const float* q, u32 entry, u32 layer) const
 }
 
 std::vector<HnswHit>
-Hnsw::beamAt(const float* q, u32 entry, u32 layer, u32 ef) const
+Hnsw::beamAt(const float* q, u32 entry, u32 layer, u32 ef, u64* evals) const
 {
     std::priority_queue<HnswHit, std::vector<HnswHit>, NearFirst> candidates;
     std::priority_queue<HnswHit, std::vector<HnswHit>, FarFirst> results;
     beginVisit();
     double d0 = l2(q, vec(entry));
+    ++*evals;
     candidates.push({entry, d0});
     results.push({entry, d0});
     tryVisit(entry);
@@ -133,6 +138,7 @@ Hnsw::beamAt(const float* q, u32 entry, u32 layer, u32 ef) const
             if (!tryVisit(nb))
                 continue;
             double d = l2(q, vec(nb));
+            ++*evals;
             if (results.size() < ef || d < results.top().dist) {
                 candidates.push({nb, d});
                 results.push({nb, d});
@@ -176,12 +182,13 @@ Hnsw::add(const float* v)
         return id;
     }
 
+    u64 evals = 0;
     u32 cur = entry_;
     for (u32 l = max_level_; l > level && l > 0; --l)
-        cur = greedyAt(v, cur, l);
+        cur = greedyAt(v, cur, l, &evals);
 
     for (u32 l = std::min(level, max_level_);; --l) {
-        auto beam = beamAt(v, cur, l, efc_);
+        auto beam = beamAt(v, cur, l, efc_, &evals);
         u32 links = l == 0 ? 2 * m_ : m_;
         u32 take = std::min<u32>(links, static_cast<u32>(beam.size()));
         for (u32 t = 0; t < take; ++t) {
@@ -196,6 +203,7 @@ Hnsw::add(const float* v)
                 auto& lst = links_[l][nb];
                 std::vector<std::pair<double, u32>> scored;
                 scored.reserve(lst.size());
+                evals += lst.size();
                 for (u32 x : lst)
                     scored.push_back({l2(vec(nb), vec(x)), x});
                 std::sort(scored.begin(), scored.end(),
@@ -216,6 +224,7 @@ Hnsw::add(const float* v)
         max_level_ = level;
         entry_ = id;
     }
+    WACO_COUNT("hnsw.build_evals", evals);
     return id;
 }
 
@@ -224,10 +233,13 @@ Hnsw::searchKnn(const float* q, u32 k, u32 ef) const
 {
     if (size() == 0)
         return {};
+    u64 evals = 0;
     u32 cur = entry_;
     for (u32 l = max_level_; l > 0; --l)
-        cur = greedyAt(q, cur, l);
-    auto beam = beamAt(q, cur, 0, std::max(ef, k));
+        cur = greedyAt(q, cur, l, &evals);
+    auto beam = beamAt(q, cur, 0, std::max(ef, k), &evals);
+    WACO_COUNT("hnsw.l2_evals", evals);
+    WACO_COUNT("hnsw.searches", 1);
     if (beam.size() > k)
         beam.resize(k);
     return beam;
@@ -263,11 +275,11 @@ Hnsw::searchGenericBatched(const BatchScoreFn& score, u32 k, u32 ef,
     beginVisit();
     std::vector<u32> batch_ids;
     std::vector<double> batch_scores;
+    u64 n_evals = 0;
     u32 seed_id = entry_;
     double d0 = 0.0;
     score(&seed_id, 1, &d0);
-    if (evals)
-        ++(*evals);
+    ++n_evals;
     candidates.push({entry_, d0});
     results.push({entry_, d0});
     tryVisit(entry_);
@@ -286,8 +298,7 @@ Hnsw::searchGenericBatched(const BatchScoreFn& score, u32 k, u32 ef,
         batch_scores.resize(batch_ids.size());
         score(batch_ids.data(), static_cast<u32>(batch_ids.size()),
               batch_scores.data());
-        if (evals)
-            *evals += batch_ids.size();
+        n_evals += batch_ids.size();
         for (std::size_t i = 0; i < batch_ids.size(); ++i) {
             double d = batch_scores[i];
             if (results.size() < ef || d < results.top().dist) {
@@ -306,6 +317,10 @@ Hnsw::searchGenericBatched(const BatchScoreFn& score, u32 k, u32 ef,
     std::reverse(out.begin(), out.end());
     if (out.size() > k)
         out.resize(k);
+    if (evals)
+        *evals += n_evals;
+    WACO_COUNT("hnsw.cost_evals", n_evals);
+    WACO_COUNT("hnsw.searches", 1);
     return out;
 }
 

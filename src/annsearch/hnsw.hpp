@@ -114,12 +114,14 @@ class Hnsw
     }
     const float* vec(u32 id) const { return data_.data() + static_cast<std::size_t>(id) * dim_; }
 
-    /** Greedy descent to the closest node at a layer. */
-    u32 greedyAt(const float* q, u32 entry, u32 layer) const;
+    /** Greedy descent to the closest node at a layer. @p evals counts the
+     *  l2 evaluations performed (flushed to the metrics registry by the
+     *  public entry points). */
+    u32 greedyAt(const float* q, u32 entry, u32 layer, u64* evals) const;
 
     /** Beam search at one layer; returns up to ef closest. */
     std::vector<HnswHit> beamAt(const float* q, u32 entry, u32 layer,
-                                u32 ef) const;
+                                u32 ef, u64* evals) const;
 
     /** Start a fresh visited epoch (resets lazily via stamping). */
     void beginVisit() const;

@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace waco {
 
@@ -53,6 +55,7 @@ trainCostModel(WacoCostModel& model, const CostDataset& dataset,
     };
 
     for (u32 epoch = 0; epoch < opt.epochs; ++epoch) {
+        WACO_SPAN("train.epoch");
         Timer timer;
         EpochStats stats;
         stats.epoch = epoch;
@@ -77,6 +80,8 @@ trainCostModel(WacoCostModel& model, const CostDataset& dataset,
         }
         u32 applied = static_cast<u32>(order.size()) - stats.skippedSteps;
         stats.trainLoss = applied == 0 ? 0.0 : train_loss / applied;
+        WACO_COUNT("train.steps", applied);
+        WACO_COUNT("train.skipped_steps", stats.skippedSteps);
 
         double val_loss = 0.0, val_acc = 0.0;
         Rng val_rng(opt.seed + 1); // fixed batches across epochs
@@ -94,6 +99,9 @@ trainCostModel(WacoCostModel& model, const CostDataset& dataset,
         }
         stats.valLoss = val_loss;
         stats.valOrderAccuracy = val_acc;
+        WACO_GAUGE("train.loss", stats.trainLoss);
+        WACO_GAUGE("train.val_loss", stats.valLoss);
+        WACO_GAUGE("train.val_order_accuracy", stats.valOrderAccuracy);
 
         // Val loss is the checkpoint metric; fall back to train loss for
         // datasets too small to hold out a validation split.
@@ -112,6 +120,7 @@ trainCostModel(WacoCostModel& model, const CostDataset& dataset,
         stats.seconds = timer.seconds();
         if (diverged && opt.divergeFactor > 0.0) {
             stats.rolledBack = true;
+            WACO_COUNT("train.rollbacks", 1);
             logWarn("divergence at epoch " + std::to_string(epoch) +
                     " (val loss " + std::to_string(val_loss) +
                     "); rolling back to best checkpoint");

@@ -5,8 +5,10 @@
 #include <thread>
 
 #include "util/logging.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace waco {
 
@@ -28,8 +30,11 @@ WacoTuner::train(const std::vector<SparseMatrix>& corpus)
     logInfo("building " + algorithmName(alg_) + " dataset from " +
             std::to_string(corpus.size()) + " matrices");
     RobustMeasurer robust(backend(), opt_.retry);
-    dataset_ = buildDataset(alg_, corpus, robust, opt_.schedulesPerMatrix,
-                            opt_.seed);
+    {
+        WACO_SPAN("train.label");
+        dataset_ = buildDataset(alg_, corpus, robust, opt_.schedulesPerMatrix,
+                                opt_.seed);
+    }
     return trainOnDataset(dataset_);
 }
 
@@ -37,8 +42,11 @@ std::vector<EpochStats>
 WacoTuner::train3d(const std::vector<Sparse3Tensor>& corpus)
 {
     RobustMeasurer robust(backend(), opt_.retry);
-    dataset_ = buildDataset3d(alg_, corpus, robust, opt_.schedulesPerMatrix,
-                              opt_.seed);
+    {
+        WACO_SPAN("train.label");
+        dataset_ = buildDataset3d(alg_, corpus, robust,
+                                  opt_.schedulesPerMatrix, opt_.seed);
+    }
     return trainOnDataset(dataset_);
 }
 
@@ -47,13 +55,17 @@ WacoTuner::trainOnDataset(const CostDataset& dataset)
 {
     if (&dataset != &dataset_)
         dataset_ = dataset;
-    auto stats = trainCostModel(*model_, dataset_, opt_.train,
-                                [&](const EpochStats& e) {
-        LogLine(LogLevel::Info)
-            << algorithmName(alg_) << " epoch " << e.epoch << " train "
-            << e.trainLoss << " val " << e.valLoss << " acc "
-            << e.valOrderAccuracy;
-    });
+    std::vector<EpochStats> stats;
+    {
+        WACO_SPAN("train.fit");
+        stats = trainCostModel(*model_, dataset_, opt_.train,
+                               [&](const EpochStats& e) {
+            LogLine(LogLevel::Info)
+                << algorithmName(alg_) << " epoch " << e.epoch << " train "
+                << e.trainLoss << " val " << e.valLoss << " acc "
+                << e.valOrderAccuracy;
+        });
+    }
     buildGraph();
     return stats;
 }
@@ -68,6 +80,7 @@ WacoTuner::attachDataset(const CostDataset& dataset)
 void
 WacoTuner::buildGraph()
 {
+    WACO_SPAN("train.build_graph");
     nodes_ = dataset_.allSchedules();
     fatalIf(nodes_.empty(), "cannot build a KNN graph with no schedules");
     // Embed in chunks to bound peak memory.
@@ -98,11 +111,17 @@ WacoTuner::tuneImpl(
     const std::function<Measurement(const SuperSchedule&)>& measure)
 {
     fatalIf(!graph_, "WacoTuner::tune called before train()");
+    WACO_SPAN("tune");
+    WACO_COUNT("tune.calls", 1);
     TuneOutcome out;
 
     // Phase 1 (Fig 16b): run the feature extractor once for this input.
     Timer feature_timer;
-    nn::Mat feature = model_->extractFeature(pattern);
+    nn::Mat feature;
+    {
+        WACO_SPAN("tune.extract");
+        feature = model_->extractFeature(pattern);
+    }
     out.featureSeconds = feature_timer.seconds();
 
     // Phase 2: ANNS over the KNN graph; only the predictor head runs. The
@@ -110,44 +129,54 @@ WacoTuner::tuneImpl(
     // every frontier expansion scores its whole neighbor set through one
     // batched GEMM against the precomputed node embeddings.
     Timer search_timer;
-    auto query = model_->beginQuery(feature);
-    Hnsw::BatchScoreFn score = [&](const u32* ids, u32 count, double* dst) {
-        nn::Mat pred = model_->scoreEmbeddings(query, node_embeddings_, ids,
-                                               count);
-        for (u32 i = 0; i < count; ++i)
-            dst[i] = static_cast<double>(pred.at(i, 0));
-    };
-    auto hits = graph_->searchGenericBatched(
-        score, opt_.topK, std::max(opt_.efSearch, opt_.topK),
-        &out.costEvaluations);
+    std::vector<HnswHit> hits;
+    {
+        WACO_SPAN("tune.search");
+        auto query = model_->beginQuery(feature);
+        Hnsw::BatchScoreFn score = [&](const u32* ids, u32 count,
+                                       double* dst) {
+            nn::Mat pred = model_->scoreEmbeddings(query, node_embeddings_,
+                                                   ids, count);
+            for (u32 i = 0; i < count; ++i)
+                dst[i] = static_cast<double>(pred.at(i, 0));
+        };
+        hits = graph_->searchGenericBatched(
+            score, opt_.topK, std::max(opt_.efSearch, opt_.topK),
+            &out.costEvaluations);
+    }
     out.searchSeconds = search_timer.seconds();
+    WACO_COUNT("tune.cost_evals", out.costEvaluations);
 
     // Phase 3: re-measure the top-k on the "hardware" and keep the fastest
     // (the paper's Section 5.2 protocol).
     Timer measure_timer;
-    double best = std::numeric_limits<double>::infinity();
-    for (const auto& hit : hits) {
-        const SuperSchedule& s = nodes_[hit.id];
-        Measurement m = measure(s);
-        out.topK.push_back(s);
-        out.topKMeasured.push_back(m);
-        if (m.valid && m.seconds < best) {
-            best = m.seconds;
-            out.best = s;
-            out.bestMeasured = m;
+    {
+        WACO_SPAN("tune.measure");
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto& hit : hits) {
+            const SuperSchedule& s = nodes_[hit.id];
+            Measurement m = measure(s);
+            out.topK.push_back(s);
+            out.topKMeasured.push_back(m);
+            if (m.valid && m.seconds < best) {
+                best = m.seconds;
+                out.best = s;
+                out.bestMeasured = m;
+            }
         }
-    }
-    out.remeasureSeconds = measure_timer.seconds();
-    if (!std::isfinite(best)) {
-        // Every candidate came back invalid or faulted: degrade to the
-        // known-safe CSR-row-parallel default rather than returning an
-        // invalid winner.
-        out.fellBack = true;
-        out.best = defaultSchedule(shape);
-        out.bestMeasured = measure(out.best);
-        logWarn("all top-" + std::to_string(out.topK.size()) +
-                " remeasurements invalid; falling back to the default "
-                "CSR schedule");
+        out.remeasureSeconds = measure_timer.seconds();
+        if (!std::isfinite(best)) {
+            // Every candidate came back invalid or faulted: degrade to the
+            // known-safe CSR-row-parallel default rather than returning an
+            // invalid winner.
+            out.fellBack = true;
+            WACO_COUNT("tune.fallbacks", 1);
+            out.best = defaultSchedule(shape);
+            out.bestMeasured = measure(out.best);
+            logWarn("all top-" + std::to_string(out.topK.size()) +
+                    " remeasurements invalid; falling back to the default "
+                    "CSR schedule");
+        }
     }
     out.convertSeconds = oracle_.conversionSeconds(
         pattern.coords.size(), out.bestMeasured.storedValues);

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "nn/serialize.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace waco {
 
@@ -29,12 +31,16 @@ WacoCostModel::WacoCostModel(Algorithm alg, const std::string& extractor_kind,
 Mat
 WacoCostModel::extractFeature(const PatternInput& in)
 {
+    WACO_SPAN("model.extract");
+    WACO_COUNT("model.features_extracted", 1);
     return extractor_->forward(in);
 }
 
 Mat
 WacoCostModel::programEmbeddings(const std::vector<SuperSchedule>& batch)
 {
+    WACO_SPAN("model.embed");
+    WACO_COUNT("model.schedules_embedded", batch.size());
     return embedder_->forward(batch);
 }
 
@@ -82,6 +88,7 @@ WacoCostModel::scoreEmbeddings(const PredictorQuery& q, const Mat& embeddings,
 {
     u32 emb_dim = q.wEmb.cols;
     panicIf(embeddings.cols != emb_dim, "embedding width mismatch");
+    WACO_COUNT("model.embeddings_scored", count);
     Mat batch(count, emb_dim);
     for (u32 n = 0; n < count; ++n) {
         u32 row = ids ? ids[n] : n;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace waco::nn {
@@ -302,6 +303,7 @@ RulebookCache::chain(const std::vector<std::array<i32, 3>>& coords,
 
     if (!rulebookCacheEnabled()) {
         ++misses_;
+        WACO_COUNT("rulebook.misses", 1);
         build(scratch_);
         return scratch_;
     }
@@ -309,11 +311,13 @@ RulebookCache::chain(const std::vector<std::array<i32, 3>>& coords,
     u64 key = fingerprint(coords);
     if (auto it = index_.find(key); it != index_.end()) {
         ++hits_;
+        WACO_COUNT("rulebook.hits", 1);
         lru_.splice(lru_.begin(), lru_, it->second);
         return lru_.front().chain;
     }
 
     ++misses_;
+    WACO_COUNT("rulebook.misses", 1);
     Entry e;
     e.key = key;
     build(e.chain);
@@ -322,10 +326,12 @@ RulebookCache::chain(const std::vector<std::array<i32, 3>>& coords,
     totalPairs_ += e.pairEntries;
     lru_.push_front(std::move(e));
     index_[key] = lru_.begin();
-    while (totalPairs_ > kMaxPairEntries && lru_.size() > 1) {
+    while (totalPairs_ > pairBudget_ && lru_.size() > 1) {
         totalPairs_ -= lru_.back().pairEntries;
         index_.erase(lru_.back().key);
         lru_.pop_back();
+        ++evictions_;
+        WACO_COUNT("rulebook.evictions", 1);
     }
     return lru_.front().chain;
 }

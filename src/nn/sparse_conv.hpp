@@ -30,6 +30,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <list>
 #include <unordered_map>
@@ -151,12 +152,20 @@ class RulebookCache
 
     void clear();
 
-    /** Cache hits/misses since construction (bench diagnostics). */
+    /** Cache hits/misses/evictions since construction. The same events
+     *  also feed the process-wide MetricsRegistry counters
+     *  "rulebook.hits" / "rulebook.misses" / "rulebook.evictions". */
     u64 hits() const { return hits_; }
     u64 misses() const { return misses_; }
+    u64 evictions() const { return evictions_; }
 
-    /** Gather-pair budget across all cached chains. */
+    /** Default gather-pair budget across all cached chains. */
     static constexpr u64 kMaxPairEntries = u64(8) << 20;
+
+    /** Override the gather-pair budget (tests shrink it to force
+     *  eviction). Takes effect on the next chain() insertion. */
+    void setPairBudget(u64 budget) { pairBudget_ = std::max<u64>(1, budget); }
+    u64 pairBudget() const { return pairBudget_; }
 
   private:
     struct Entry
@@ -170,8 +179,10 @@ class RulebookCache
     std::unordered_map<u64, std::list<Entry>::iterator> index_;
     std::vector<Rulebook> scratch_; ///< Rebuilt-per-call path when disabled.
     u64 totalPairs_ = 0;
+    u64 pairBudget_ = kMaxPairEntries;
     u64 hits_ = 0;
     u64 misses_ = 0;
+    u64 evictions_ = 0;
 };
 
 /** Process-wide toggle for every RulebookCache (bench/test knob). */

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "util/common.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace waco {
 
@@ -19,7 +21,9 @@ Measurement
 RobustMeasurer::measureRobust(
     const std::function<Measurement()>& attempt) const
 {
+    WACO_SPAN("measure.call");
     ++stats_.calls;
+    WACO_COUNT("measure.calls", 1);
     std::vector<Measurement> samples;
     Measurement last_failure;
     last_failure.seconds = std::numeric_limits<double>::infinity();
@@ -31,24 +35,30 @@ RobustMeasurer::measureRobust(
         for (u32 try_n = 0; try_n < policy_.maxAttempts; ++try_n) {
             if (try_n > 0) {
                 ++stats_.retries;
+                WACO_COUNT("measure.retries", 1);
                 // Simulated exponential backoff: 1, 2, 4, ... units per
                 // consecutive retry. Counted, never slept.
                 stats_.backoffUnits += 1ull << (try_n - 1);
             }
             ++stats_.attempts;
+            WACO_COUNT("measure.attempts", 1);
             Measurement m;
             try {
                 m = attempt();
             } catch (const MeasurementError& e) {
                 ++stats_.faults;
+                WACO_COUNT("measure.faults", 1);
                 last_failure.invalidReason = e.what();
                 continue;
             }
             if (!m.valid) {
-                if (m.invalidReason == "timeout")
+                if (m.invalidReason == "timeout") {
                     ++stats_.timeouts;
-                else
+                    WACO_COUNT("measure.timeouts", 1);
+                } else {
                     ++stats_.invalid;
+                    WACO_COUNT("measure.invalid", 1);
+                }
                 last_failure = m;
                 continue;
             }
@@ -64,6 +74,7 @@ RobustMeasurer::measureRobust(
 
     if (samples.empty()) {
         ++stats_.discarded;
+        WACO_COUNT("measure.discarded", 1);
         return last_failure;
     }
 

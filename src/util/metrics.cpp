@@ -1,0 +1,212 @@
+#include "util/metrics.hpp"
+
+#include <cstdio>
+
+namespace waco::metrics {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+std::atomic<u32> g_next_slot{0};
+} // namespace
+
+u32
+threadSlot()
+{
+    thread_local u32 slot =
+        g_next_slot.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return slot;
+}
+
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+HistogramSnapshot
+Histogram::read() const
+{
+    HistogramSnapshot out;
+    u64 min = ~u64{0};
+    for (const auto& s : shards_) {
+        out.count += s.count.load(std::memory_order_relaxed);
+        out.sum += s.sum.load(std::memory_order_relaxed);
+        min = std::min(min, s.min.load(std::memory_order_relaxed));
+        out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+        for (u32 b = 0; b < kHistBuckets; ++b)
+            out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    out.min = out.count == 0 ? 0 : min;
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (auto& s : shards_) {
+        s.count.store(0, std::memory_order_relaxed);
+        s.sum.store(0, std::memory_order_relaxed);
+        s.min.store(~u64{0}, std::memory_order_relaxed);
+        s.max.store(0, std::memory_order_relaxed);
+        for (auto& b : s.buckets)
+            b.store(0, std::memory_order_relaxed);
+    }
+}
+
+MetricsRegistry&
+MetricsRegistry::instance()
+{
+    // Leaked on purpose: pool workers may update metrics during static
+    // destruction, after main()'s statics are gone.
+    static MetricsRegistry* r = new MetricsRegistry;
+    return *r;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> l(mutex_);
+    auto& slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>(name);
+    return *slot;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> l(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>(name);
+    return *slot;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> l(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(name);
+    return *slot;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> l(mutex_);
+    for (auto& [_, c] : counters_)
+        c->reset();
+    for (auto& [_, g] : gauges_)
+        g->reset();
+    for (auto& [_, h] : histograms_)
+        h->reset();
+}
+
+std::map<std::string, u64>
+MetricsRegistry::counters() const
+{
+    std::lock_guard<std::mutex> l(mutex_);
+    std::map<std::string, u64> out;
+    for (const auto& [name, c] : counters_)
+        out[name] = c->total();
+    return out;
+}
+
+std::map<std::string, double>
+MetricsRegistry::gauges() const
+{
+    std::lock_guard<std::mutex> l(mutex_);
+    std::map<std::string, double> out;
+    for (const auto& [name, g] : gauges_)
+        out[name] = g->value();
+    return out;
+}
+
+std::map<std::string, HistogramSnapshot>
+MetricsRegistry::histograms() const
+{
+    std::lock_guard<std::mutex> l(mutex_);
+    std::map<std::string, HistogramSnapshot> out;
+    for (const auto& [name, h] : histograms_)
+        out[name] = h->read();
+    return out;
+}
+
+std::string
+MetricsRegistry::exportJson() const
+{
+    auto cs = counters();
+    auto gs = gauges();
+    auto hs = histograms();
+
+    std::string out = "{\n  \"counters\": {";
+    char buf[96];
+    bool first = true;
+    for (const auto& [name, v] : cs) {
+        std::snprintf(buf, sizeof buf, "%s\n    \"%s\": %llu",
+                      first ? "" : ",", name.c_str(),
+                      static_cast<unsigned long long>(v));
+        out += buf;
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto& [name, v] : gs) {
+        std::snprintf(buf, sizeof buf, "%s\n    \"%s\": %.17g",
+                      first ? "" : ",", name.c_str(), v);
+        out += buf;
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : hs) {
+        std::snprintf(
+            buf, sizeof buf,
+            "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, "
+            "\"min\": %llu, \"max\": %llu, \"buckets\": [",
+            first ? "" : ",", name.c_str(),
+            static_cast<unsigned long long>(h.count),
+            static_cast<unsigned long long>(h.sum),
+            static_cast<unsigned long long>(h.min),
+            static_cast<unsigned long long>(h.max));
+        out += buf;
+        bool bfirst = true;
+        for (u32 b = 0; b < kHistBuckets; ++b) {
+            if (h.buckets[b] == 0)
+                continue;
+            std::snprintf(buf, sizeof buf, "%s[%u, %llu]",
+                          bfirst ? "" : ", ", b,
+                          static_cast<unsigned long long>(h.buckets[b]));
+            out += buf;
+            bfirst = false;
+        }
+        out += "]}";
+        first = false;
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+void
+writeMetricsJson(const std::string& path)
+{
+    std::string doc = MetricsRegistry::instance().exportJson();
+    FILE* f = std::fopen(path.c_str(), "w");
+    fatalIf(!f, "cannot open metrics output file '" + path + "'");
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+}
+
+} // namespace waco::metrics

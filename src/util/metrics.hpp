@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and power-of-two
+ * histograms with a lock-free fast path.
+ *
+ * Every metric stripes its state across `kShards` cache-line-aligned
+ * shards; a thread picks a shard once (a thread-local slot index) and then
+ * updates it with relaxed atomics only — no locks, no contention between
+ * pool workers on different shards, and exact merged totals once writers
+ * quiesce. Handles returned by MetricsRegistry live for the whole process,
+ * so call sites cache them in a function-local static (what the WACO_COUNT
+ * / WACO_GAUGE / WACO_HIST macros do).
+ *
+ * Like tracing (util/trace.hpp), collection is off by default: the macro
+ * fast path is one relaxed load + branch when disabled, and the macros
+ * compile to nothing under -DWACO_OBSERVABILITY=0.
+ */
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/trace.hpp" // WACO_OBSERVABILITY
+
+namespace waco::metrics {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+/** Thread's shard index (assigned round-robin on first use). */
+u32 threadSlot();
+} // namespace detail
+
+/** True when metric updates are being applied (runtime toggle). */
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Flip metric collection on or off at runtime. */
+void setEnabled(bool on);
+
+/** Shards per metric; more than the ThreadPool's worker cap would ever
+ *  keep busy at once, so slot collisions are rare (and harmless). */
+constexpr u32 kShards = 64;
+
+/** log2 histogram buckets: bucket 0 holds value 0, bucket b >= 1 holds
+ *  values in [2^(b-1), 2^b); the last bucket absorbs everything above. */
+constexpr u32 kHistBuckets = 48;
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    void
+    add(u64 n = 1)
+    {
+        shards_[detail::threadSlot()].v.fetch_add(n,
+                                                  std::memory_order_relaxed);
+    }
+
+    /** Sum across shards (exact once writers quiesce). */
+    u64
+    total() const
+    {
+        u64 t = 0;
+        for (const auto& s : shards_)
+            t += s.v.load(std::memory_order_relaxed);
+        return t;
+    }
+
+    void
+    reset()
+    {
+        for (auto& s : shards_)
+            s.v.store(0, std::memory_order_relaxed);
+    }
+
+    const std::string& name() const { return name_; }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<u64> v{0};
+    };
+
+    std::string name_;
+    std::array<Shard, kShards> shards_{};
+};
+
+/** Last-write-wins double value (queue depths, losses, pool size). */
+class Gauge
+{
+  public:
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+    void
+    set(double v)
+    {
+        u64 bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        bits_.store(bits, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        u64 bits = bits_.load(std::memory_order_relaxed);
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    void reset() { bits_.store(0, std::memory_order_relaxed); }
+
+    const std::string& name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::atomic<u64> bits_{0};
+};
+
+/** Merged histogram state. */
+struct HistogramSnapshot
+{
+    u64 count = 0;
+    u64 sum = 0;
+    u64 min = 0; ///< 0 when count == 0.
+    u64 max = 0;
+    std::array<u64, kHistBuckets> buckets{};
+};
+
+/** log2-bucketed distribution of non-negative integer samples. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+    /** Bucket index a value lands in. */
+    static u32
+    bucketOf(u64 v)
+    {
+        return v == 0 ? 0 : std::min(kHistBuckets - 1, log2Floor(v) + 1);
+    }
+
+    void
+    record(u64 v)
+    {
+        Shard& s = shards_[detail::threadSlot()];
+        s.count.fetch_add(1, std::memory_order_relaxed);
+        s.sum.fetch_add(v, std::memory_order_relaxed);
+        s.buckets[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+        u64 cur = s.min.load(std::memory_order_relaxed);
+        while (v < cur &&
+               !s.min.compare_exchange_weak(cur, v,
+                                            std::memory_order_relaxed)) {
+        }
+        cur = s.max.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !s.max.compare_exchange_weak(cur, v,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
+    HistogramSnapshot read() const;
+    void reset();
+
+    const std::string& name() const { return name_; }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<u64> count{0};
+        std::atomic<u64> sum{0};
+        std::atomic<u64> min{~u64{0}};
+        std::atomic<u64> max{0};
+        std::array<std::atomic<u64>, kHistBuckets> buckets{};
+    };
+
+    std::string name_;
+    std::array<Shard, kShards> shards_{};
+};
+
+/**
+ * The process-wide registry. Metric handles are created on first lookup
+ * and never destroyed, so references stay valid for the process lifetime;
+ * reset() zeroes values without invalidating handles.
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry& instance();
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /** Zero every registered metric (handles stay valid). */
+    void reset();
+
+    /** Merged values, for tests and structured consumers. */
+    std::map<std::string, u64> counters() const;
+    std::map<std::string, double> gauges() const;
+    std::map<std::string, HistogramSnapshot> histograms() const;
+
+    /** Flat metrics JSON: {"counters":{...},"gauges":{...},
+     *  "histograms":{...}} with names sorted. */
+    std::string exportJson() const;
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mutex_; ///< Guards the name maps, not the values.
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** Write MetricsRegistry::instance().exportJson() to @p path. */
+void writeMetricsJson(const std::string& path);
+
+} // namespace waco::metrics
+
+#if WACO_OBSERVABILITY
+/** Add @p n to counter @p name (evaluates @p n only when enabled). */
+#define WACO_COUNT(name, n)                                                  \
+    do {                                                                     \
+        if (::waco::metrics::enabled()) {                                    \
+            static ::waco::metrics::Counter& waco_c_ =                       \
+                ::waco::metrics::MetricsRegistry::instance().counter(name);  \
+            waco_c_.add(n);                                                  \
+        }                                                                    \
+    } while (0)
+/** Set gauge @p name to @p v. */
+#define WACO_GAUGE(name, v)                                                  \
+    do {                                                                     \
+        if (::waco::metrics::enabled()) {                                    \
+            static ::waco::metrics::Gauge& waco_g_ =                         \
+                ::waco::metrics::MetricsRegistry::instance().gauge(name);    \
+            waco_g_.set(static_cast<double>(v));                             \
+        }                                                                    \
+    } while (0)
+/** Record sample @p v in histogram @p name. */
+#define WACO_HIST(name, v)                                                   \
+    do {                                                                     \
+        if (::waco::metrics::enabled()) {                                    \
+            static ::waco::metrics::Histogram& waco_h_ =                     \
+                ::waco::metrics::MetricsRegistry::instance().histogram(      \
+                    name);                                                   \
+            waco_h_.record(static_cast<::waco::u64>(v));                     \
+        }                                                                    \
+    } while (0)
+#else
+#define WACO_COUNT(name, n) ((void)0)
+#define WACO_GAUGE(name, v) ((void)0)
+#define WACO_HIST(name, v) ((void)0)
+#endif

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace waco {
 
 ThreadPool::ThreadPool(u32 workers)
@@ -36,6 +39,7 @@ ThreadPool::ensureWorkers(u32 n)
         threads_.emplace_back([this, id = static_cast<u32>(threads_.size())] {
             workerLoop(id);
         });
+    WACO_GAUGE("pool.workers", threads_.size());
 }
 
 void
@@ -65,7 +69,13 @@ ThreadPool::workerLoop(u32 id)
                 job = job_;
         }
         if (job) {
-            runChunks(*job);
+            {
+                // Attribute this worker's share of the job to the span the
+                // submitting caller was in (cross-thread parent handoff).
+                WACO_ADOPT_PARENT(job->traceParent);
+                WACO_SPAN("pool.worker");
+                runChunks(*job);
+            }
             if (job->pending.fetch_sub(1) == 1) {
                 // Lock so the notify cannot slip between the waiter's
                 // predicate check and its wait.
@@ -90,17 +100,29 @@ ThreadPool::parallelFor(u64 total, u64 chunk, u32 maxThreads,
     u32 participants = static_cast<u32>(
         std::min<u64>(maxThreads, std::min<u64>(num_chunks, kMaxWorkers + 1)));
 
+    // Queue depth: callers (from different threads) serialized behind the
+    // in-flight job. Updated around the lock so the gauge reflects actual
+    // waiting time, not hold time.
+    u32 depth = waiting_.fetch_add(1, std::memory_order_relaxed) + 1;
+    WACO_GAUGE("pool.queue_depth", depth);
     std::lock_guard<std::mutex> caller_lock(callerMutex_);
+    depth = waiting_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    WACO_GAUGE("pool.queue_depth", depth);
+    (void)depth;
     u32 helpers = std::min(participants - 1, workers());
     if (helpers == 0) {
         body(0, total);
         return;
     }
 
+    WACO_SPAN("pool.job");
+    WACO_COUNT("pool.jobs", 1);
+    WACO_HIST("pool.participants", helpers + 1);
     Job job;
     job.total = total;
     job.chunk = chunk;
     job.body = &body;
+    job.traceParent = WACO_CURRENT_SPAN();
     job.pending.store(helpers);
     {
         std::lock_guard<std::mutex> l(mutex_);

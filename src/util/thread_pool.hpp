@@ -72,11 +72,13 @@ class ThreadPool
         u64 chunk = 1;
         const std::function<void(u64, u64)>* body = nullptr;
         std::atomic<u32> pending{0}; ///< Workers still inside the job.
+        u64 traceParent = 0; ///< Caller's span, adopted by the workers.
     };
 
     void workerLoop(u32 id);
     static void runChunks(Job& job);
 
+    std::atomic<u32> waiting_{0};       ///< Callers queued on callerMutex_.
     mutable std::mutex mutex_;          ///< Guards job hand-off + threads_.
     std::condition_variable wake_;      ///< Workers park here.
     std::condition_variable done_;      ///< parallelFor waits here.

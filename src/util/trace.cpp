@@ -1,0 +1,399 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace waco::trace {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+/**
+ * Per-thread span state. The owning thread touches stack/adopted without
+ * locks; `spans` is the only cross-thread surface and is guarded by
+ * `mutex` (uncontended except while a snapshot is being taken). `depth`
+ * mirrors stack.size() atomically so activeSpanCount() can read it from
+ * other threads race-free.
+ */
+struct Shard
+{
+    u32 tid = 0;
+    std::vector<u64> stack;
+    u64 adopted = 0;
+    std::atomic<u32> depth{0};
+    std::mutex mutex;
+    std::vector<SpanRecord> spans;
+};
+
+} // namespace detail
+
+namespace {
+
+using detail::Shard;
+
+std::atomic<u64> g_next_span_id{1};
+std::atomic<u32> g_next_tid{0};
+
+struct ShardRegistry
+{
+    std::mutex mutex;
+    std::vector<std::shared_ptr<Shard>> shards;
+};
+
+/** Leaked on purpose: ThreadPool workers may record spans during static
+ *  destruction, after main()'s statics are gone. */
+ShardRegistry&
+shardRegistry()
+{
+    static ShardRegistry* r = new ShardRegistry;
+    return *r;
+}
+
+Shard*
+localShard()
+{
+    thread_local std::shared_ptr<Shard> shard = [] {
+        auto s = std::make_shared<Shard>();
+        s->tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+        auto& reg = shardRegistry();
+        std::lock_guard<std::mutex> l(reg.mutex);
+        reg.shards.push_back(s);
+        return s;
+    }();
+    return shard.get();
+}
+
+i64
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+appendJsonEscaped(std::string& out, const std::string& s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+}
+
+} // namespace
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+Span::begin(const char* name)
+{
+    shard_ = localShard();
+    name_ = name;
+    id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    parent_ = shard_->stack.empty() ? shard_->adopted : shard_->stack.back();
+    shard_->stack.push_back(id_);
+    shard_->depth.store(static_cast<u32>(shard_->stack.size()),
+                        std::memory_order_relaxed);
+    start_ = nowNs();
+}
+
+void
+Span::end()
+{
+    // RAII guarantees this span is the top of its thread's stack.
+    shard_->stack.pop_back();
+    shard_->depth.store(static_cast<u32>(shard_->stack.size()),
+                        std::memory_order_relaxed);
+    SpanRecord r;
+    r.id = id_;
+    r.parent = parent_;
+    r.name = name_;
+    r.tid = shard_->tid;
+    r.startNs = start_;
+    r.endNs = nowNs();
+    std::lock_guard<std::mutex> l(shard_->mutex);
+    shard_->spans.push_back(std::move(r));
+}
+
+void
+ScopedParent::adopt(u64 parent)
+{
+    shard_ = localShard();
+    saved_ = shard_->adopted;
+    shard_->adopted = parent;
+}
+
+void
+ScopedParent::restore()
+{
+    shard_->adopted = saved_;
+}
+
+u64
+currentSpan()
+{
+    if (!enabled())
+        return 0;
+    Shard* s = localShard();
+    return s->stack.empty() ? s->adopted : s->stack.back();
+}
+
+u32
+currentThreadId()
+{
+    return localShard()->tid;
+}
+
+u64
+activeSpanCount()
+{
+    auto& reg = shardRegistry();
+    std::lock_guard<std::mutex> l(reg.mutex);
+    u64 n = 0;
+    for (const auto& s : reg.shards)
+        n += s->depth.load(std::memory_order_relaxed);
+    return n;
+}
+
+std::vector<SpanRecord>
+snapshot()
+{
+    std::vector<SpanRecord> out;
+    auto& reg = shardRegistry();
+    std::lock_guard<std::mutex> l(reg.mutex);
+    for (const auto& s : reg.shards) {
+        std::lock_guard<std::mutex> l2(s->mutex);
+        out.insert(out.end(), s->spans.begin(), s->spans.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                  return a.startNs != b.startNs ? a.startNs < b.startNs
+                                                : a.id < b.id;
+              });
+    return out;
+}
+
+void
+clear()
+{
+    auto& reg = shardRegistry();
+    std::lock_guard<std::mutex> l(reg.mutex);
+    for (const auto& s : reg.shards) {
+        std::lock_guard<std::mutex> l2(s->mutex);
+        s->spans.clear();
+    }
+}
+
+std::string
+serializeChromeTrace(const std::vector<SpanRecord>& spans)
+{
+    std::vector<SpanRecord> sorted = spans;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                  return a.startNs != b.startNs ? a.startNs < b.startNs
+                                                : a.id < b.id;
+              });
+    i64 base = sorted.empty() ? 0 : sorted.front().startNs;
+    for (const auto& s : sorted)
+        base = std::min(base, s.startNs);
+
+    std::string out;
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    char buf[160];
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const SpanRecord& s = sorted[i];
+        out += "{\"name\":\"";
+        appendJsonEscaped(out, s.name);
+        out += "\",\"cat\":\"waco\",\"ph\":\"X\",\"pid\":1";
+        std::snprintf(buf, sizeof buf,
+                      ",\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                      s.tid, static_cast<double>(s.startNs - base) / 1e3,
+                      static_cast<double>(s.endNs - s.startNs) / 1e3);
+        out += buf;
+        std::snprintf(buf, sizeof buf,
+                      ",\"args\":{\"id\":%llu,\"parent\":%llu}}",
+                      static_cast<unsigned long long>(s.id),
+                      static_cast<unsigned long long>(s.parent));
+        out += buf;
+        out += i + 1 < sorted.size() ? ",\n" : "\n";
+    }
+    out += "]}\n";
+    return out;
+}
+
+namespace {
+
+/** Tiny cursor-based scanner for the exact JSON this module emits. */
+struct TraceParser
+{
+    const std::string& s;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const std::string& why) const
+    {
+        fatal("malformed trace JSON at byte " + std::to_string(pos) + ": " +
+              why);
+    }
+
+    void
+    expect(const std::string& tok)
+    {
+        skipWs();
+        if (s.compare(pos, tok.size(), tok) != 0)
+            fail("expected '" + tok + "'");
+        pos += tok.size();
+    }
+
+    bool
+    tryConsume(const std::string& tok)
+    {
+        skipWs();
+        if (s.compare(pos, tok.size(), tok) != 0)
+            return false;
+        pos += tok.size();
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\n' || s[pos] == '\t' ||
+                s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect("\"");
+        std::string out;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    fail("truncated escape");
+            }
+            out.push_back(s[pos++]);
+        }
+        if (pos >= s.size())
+            fail("unterminated string");
+        ++pos;
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        std::size_t end = pos;
+        while (end < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[end])) ||
+                s[end] == '-' || s[end] == '+' || s[end] == '.' ||
+                s[end] == 'e' || s[end] == 'E')) {
+            ++end;
+        }
+        if (end == pos)
+            fail("expected a number");
+        double v = std::stod(s.substr(pos, end - pos));
+        pos = end;
+        return v;
+    }
+};
+
+} // namespace
+
+std::vector<SpanRecord>
+parseChromeTrace(const std::string& json)
+{
+    TraceParser p{json};
+    p.expect("{");
+    p.expect("\"displayTimeUnit\"");
+    p.expect(":");
+    p.parseString();
+    p.expect(",");
+    p.expect("\"traceEvents\"");
+    p.expect(":");
+    p.expect("[");
+
+    std::vector<SpanRecord> out;
+    if (!p.tryConsume("]")) {
+        do {
+            p.expect("{");
+            SpanRecord r;
+            p.expect("\"name\"");
+            p.expect(":");
+            r.name = p.parseString();
+            p.expect(",");
+            p.expect("\"cat\"");
+            p.expect(":");
+            p.parseString();
+            p.expect(",");
+            p.expect("\"ph\"");
+            p.expect(":");
+            if (p.parseString() != "X")
+                p.fail("only ph:\"X\" events are emitted");
+            p.expect(",");
+            p.expect("\"pid\"");
+            p.expect(":");
+            p.parseNumber();
+            p.expect(",");
+            p.expect("\"tid\"");
+            p.expect(":");
+            r.tid = static_cast<u32>(p.parseNumber());
+            p.expect(",");
+            p.expect("\"ts\"");
+            p.expect(":");
+            double ts = p.parseNumber();
+            p.expect(",");
+            p.expect("\"dur\"");
+            p.expect(":");
+            double dur = p.parseNumber();
+            p.expect(",");
+            p.expect("\"args\"");
+            p.expect(":");
+            p.expect("{");
+            p.expect("\"id\"");
+            p.expect(":");
+            r.id = static_cast<u64>(p.parseNumber());
+            p.expect(",");
+            p.expect("\"parent\"");
+            p.expect(":");
+            r.parent = static_cast<u64>(p.parseNumber());
+            p.expect("}");
+            p.expect("}");
+            // %.3f microseconds round-trips exactly to integer nanoseconds.
+            r.startNs = static_cast<i64>(std::llround(ts * 1e3));
+            r.endNs = r.startNs + static_cast<i64>(std::llround(dur * 1e3));
+            out.push_back(std::move(r));
+        } while (p.tryConsume(","));
+        p.expect("]");
+    }
+    p.expect("}");
+    return out;
+}
+
+void
+writeChromeTrace(const std::string& path)
+{
+    std::string doc = serializeChromeTrace(snapshot());
+    FILE* f = std::fopen(path.c_str(), "w");
+    fatalIf(!f, "cannot open trace output file '" + path + "'");
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+}
+
+} // namespace waco::trace
