@@ -10,6 +10,7 @@
  */
 #include <cstdio>
 
+#include "analysis/schedule_verifier.hpp"
 #include "common.hpp"
 #include "coopt_search.hpp"
 #include "util/logging.hpp"
@@ -32,7 +33,7 @@ tuneNoSplit(const RuntimeOracle& oracle, const SparseMatrix& m,
     best.measured = oracle.measure(m, shape, best.schedule);
     auto strip = [&](SuperSchedule s) {
         s.splits = {1, 1, 1, 1};
-        validateSchedule(s, shape);
+        analysis::verifySchedule(s, shape).throwIfErrors("tuneNoSplit");
         return s;
     };
     for (u32 t = 0; t < trials; ++t) {

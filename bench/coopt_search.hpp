@@ -13,6 +13,7 @@
 
 #include <functional>
 
+#include "analysis/schedule_verifier.hpp"
 #include "core/waco_tuner.hpp"
 #include "data/generators.hpp"
 
@@ -42,7 +43,7 @@ makeConcordant(SuperSchedule s, const ProblemShape& shape)
             break;
         }
     }
-    validateSchedule(s, shape);
+    analysis::verifySchedule(s, shape).throwIfErrors("makeConcordant");
     return s;
 }
 
@@ -76,7 +77,7 @@ projectInto(SuperSchedule s, TuneSpace space, const ProblemShape& shape)
         s.sparseLevelOrder = def.sparseLevelOrder;
         s.sparseLevelFormats = def.sparseLevelFormats;
         s.denseRowMajor = def.denseRowMajor;
-        validateSchedule(s, shape);
+        analysis::verifySchedule(s, shape).throwIfErrors("projectInto");
         return s;
       }
     }

@@ -10,16 +10,26 @@
  * labeling checkpoints to --checkpoint and resumes from it, and training
  * runs with gradient clipping + divergence rollback.
  *
+ * --verify-only runs the static analysis pipeline (schedule verifier,
+ * lowering, loop-nest verifier) over one schedule — the CSR default, or
+ * any schedule given as a key() string via --schedule — without training
+ * or measuring anything. Diagnostics print to stdout and, with
+ * --diag-out, export as JSON; the exit code is 1 when any WACO-…
+ * error-severity finding fires, 0 otherwise.
+ *
  * Usage: example_tune_cli [spmv|spmm|sddmm] [matrix.mtx]
  *          [--faults P] [--noise SIGMA] [--timeout SECS]
  *          [--retries N] [--median K] [--checkpoint FILE]
  *          [--trace-out FILE] [--metrics-out FILE]
+ *          [--verify-only] [--schedule KEY] [--diag-out FILE]
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 
+#include "analysis/loopnest_verifier.hpp"
+#include "analysis/schedule_verifier.hpp"
 #include "codegen/emit.hpp"
 #include "core/waco_tuner.hpp"
 #include "data/generators.hpp"
@@ -40,7 +50,9 @@ usage(const char* argv0)
                  "usage: %s [spmv|spmm|sddmm] [matrix.mtx]\n"
                  "          [--faults P] [--noise SIGMA] [--timeout SECS]\n"
                  "          [--retries N] [--median K] [--checkpoint FILE]\n"
-                 "          [--trace-out FILE] [--metrics-out FILE]\n",
+                 "          [--trace-out FILE] [--metrics-out FILE]\n"
+                 "          [--verify-only] [--schedule KEY] "
+                 "[--diag-out FILE]\n",
                  argv0);
     std::exit(2);
 }
@@ -58,6 +70,8 @@ run(int argc, char** argv)
     RetryPolicy retry;
     std::string checkpoint_path;
     std::string trace_path, metrics_path;
+    bool verify_only = false;
+    std::string schedule_key, diag_path;
 
     for (int i = 1; i < argc; ++i) {
         auto num = [&](double lo) {
@@ -99,6 +113,16 @@ run(int argc, char** argv)
             if (i + 1 >= argc)
                 usage(argv[0]);
             metrics_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--verify-only")) {
+            verify_only = true;
+        } else if (!std::strcmp(argv[i], "--schedule")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            schedule_key = argv[++i];
+        } else if (!std::strcmp(argv[i], "--diag-out")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            diag_path = argv[++i];
         } else if (argv[i][0] != '-' && matrix_path.empty()) {
             matrix_path = argv[i];
         } else {
@@ -120,6 +144,27 @@ run(int argc, char** argv)
     std::printf("%s on '%s' (%u x %u, %llu nnz)\n",
                 algorithmName(alg).c_str(), m.name().c_str(), m.rows(),
                 m.cols(), static_cast<unsigned long long>(m.nnz()));
+
+    if (verify_only) {
+        // Static check only: no training, no measurement, no codegen.
+        auto shape = ProblemShape::forMatrix(alg, m.rows(), m.cols());
+        SuperSchedule s = schedule_key.empty()
+                              ? defaultSchedule(shape)
+                              : SuperSchedule::parseKey(schedule_key);
+        auto diags = analysis::verifyLowered(s, shape);
+        std::printf("verifying schedule\n  %s\n", s.key().c_str());
+        std::printf("%llu error(s), %llu warning(s), %llu perf note(s)\n",
+                    static_cast<unsigned long long>(diags.errorCount()),
+                    static_cast<unsigned long long>(diags.warningCount()),
+                    static_cast<unsigned long long>(diags.noteCount()));
+        if (!diags.empty())
+            std::printf("%s", diags.format().c_str());
+        if (!diag_path.empty()) {
+            analysis::writeDiagnosticsJson(diags, diag_path);
+            std::printf("wrote diagnostics to %s\n", diag_path.c_str());
+        }
+        return diags.hasErrors() ? 1 : 0;
+    }
 
     WacoOptions opt;
     opt.extractorConfig.channels = 8;

@@ -1,0 +1,207 @@
+#include "analysis/diagnostics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace waco::analysis {
+
+std::string
+diagCodeName(DiagCode code)
+{
+    // The enum value encodes the namespace: S-codes live below 300, L-codes
+    // in [300, 400) shifted by 300, R-codes in [400, 500) shifted by 400.
+    unsigned v = static_cast<unsigned>(code);
+    char buf[16];
+    if (v < 300)
+        std::snprintf(buf, sizeof buf, "WACO-S%03u", v);
+    else if (v < 400)
+        std::snprintf(buf, sizeof buf, "WACO-L%03u", v - 300);
+    else
+        std::snprintf(buf, sizeof buf, "WACO-R%03u", v - 400);
+    return buf;
+}
+
+Severity
+diagSeverity(DiagCode code)
+{
+    unsigned v = static_cast<unsigned>(code);
+    if (v < 100)
+        return Severity::Error; // S0xx
+    if (v < 200)
+        return Severity::Warning; // S1xx
+    if (v < 300)
+        return Severity::PerfNote; // S2xx
+    if (v < 400)
+        return Severity::Error; // L0xx
+    // R0xx: only the reduction race is an actual mis-execution; the other
+    // hazards describe annotations the executor provably ignores.
+    return code == DiagCode::R001_ParallelReductionRace ? Severity::Error
+                                                        : Severity::Warning;
+}
+
+std::string
+severityName(Severity sev)
+{
+    switch (sev) {
+      case Severity::Error:
+        return "error";
+      case Severity::Warning:
+        return "warning";
+      default:
+        return "perf-note";
+    }
+}
+
+void
+DiagnosticBag::add(DiagCode code, std::string message, int index, int level)
+{
+    Diagnostic d;
+    d.code = code;
+    d.severity = diagSeverity(code);
+    d.message = std::move(message);
+    d.index = index;
+    d.level = level;
+    switch (d.severity) {
+      case Severity::Error:
+        ++errors_;
+        break;
+      case Severity::Warning:
+        ++warnings_;
+        break;
+      default:
+        ++notes_;
+        break;
+    }
+    diags_.push_back(std::move(d));
+}
+
+void
+DiagnosticBag::merge(const DiagnosticBag& other)
+{
+    for (const Diagnostic& d : other.diags_)
+        diags_.push_back(d);
+    errors_ += other.errors_;
+    warnings_ += other.warnings_;
+    notes_ += other.notes_;
+}
+
+bool
+DiagnosticBag::has(DiagCode code) const
+{
+    for (const Diagnostic& d : diags_) {
+        if (d.code == code)
+            return true;
+    }
+    return false;
+}
+
+const Diagnostic*
+DiagnosticBag::firstError() const
+{
+    for (const Diagnostic& d : diags_) {
+        if (d.severity == Severity::Error)
+            return &d;
+    }
+    return nullptr;
+}
+
+std::string
+DiagnosticBag::format() const
+{
+    std::ostringstream os;
+    for (const Diagnostic& d : diags_) {
+        os << diagCodeName(d.code) << " [" << severityName(d.severity)
+           << "] " << d.message;
+        if (d.index >= 0)
+            os << " (index " << d.index << ")";
+        if (d.level >= 0)
+            os << " (level " << d.level << ")";
+        os << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Minimal JSON string escaping (same subset metrics names need). */
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+DiagnosticBag::exportJson() const
+{
+    std::ostringstream os;
+    os << "{\"errors\":" << errors_ << ",\"warnings\":" << warnings_
+       << ",\"notes\":" << notes_ << ",\"diagnostics\":[";
+    for (std::size_t i = 0; i < diags_.size(); ++i) {
+        const Diagnostic& d = diags_[i];
+        if (i)
+            os << ",";
+        os << "{\"code\":\"" << diagCodeName(d.code) << "\",\"severity\":\""
+           << severityName(d.severity) << "\",\"message\":\""
+           << jsonEscape(d.message) << "\",\"index\":" << d.index
+           << ",\"level\":" << d.level << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+void
+DiagnosticBag::throwIfErrors(const std::string& context) const
+{
+    if (!hasErrors())
+        return;
+    std::ostringstream os;
+    os << context << ": " << errors_ << " error(s)\n";
+    for (const Diagnostic& d : diags_) {
+        if (d.severity == Severity::Error)
+            os << "  " << diagCodeName(d.code) << ": " << d.message << "\n";
+    }
+    throw FatalError(os.str());
+}
+
+void
+writeDiagnosticsJson(const DiagnosticBag& bag, const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    fatalIf(!f, "cannot open diagnostics output file: " + path);
+    std::string json = bag.exportJson();
+    std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    int rc = std::fclose(f);
+    fatalIf(n != json.size() || rc != 0,
+            "short write to diagnostics output file: " + path);
+}
+
+} // namespace waco::analysis

@@ -1,0 +1,332 @@
+#include "analysis/loopnest_verifier.hpp"
+
+#include "analysis/schedule_verifier.hpp"
+
+namespace waco::analysis {
+
+namespace {
+
+std::string
+str(u64 v)
+{
+    return std::to_string(v);
+}
+
+/** Depth of the loop binding @p slot, or -1. */
+int
+depthOf(const LoopNest& nest, u32 slot)
+{
+    const auto& loops = nest.loops();
+    for (std::size_t d = 0; d < loops.size(); ++d) {
+        if (loops[d].slot == slot)
+            return static_cast<int>(d);
+    }
+    return -1;
+}
+
+void
+checkBindings(const LoopNest& nest, DiagnosticBag& bag)
+{
+    const auto& info = algorithmInfo(nest.alg());
+    const u32 num_slots = 2 * info.numIndices;
+    std::vector<u32> bound(num_slots, 0);
+    for (const LoopNode& n : nest.loops()) {
+        if (n.slot >= num_slots) {
+            bag.add(DiagCode::L010_LevelSlotMismatch,
+                    "loop binds slot " + str(n.slot) + " out of range [0, " +
+                        str(num_slots) + ")");
+            continue;
+        }
+        if (++bound[n.slot] == 2) {
+            bag.add(DiagCode::L001_SlotBoundTwice,
+                    "slot " + str(n.slot) + " ('" +
+                        nest.slotVarName(n.slot) + "') is bound by two loops",
+                    static_cast<int>(slotIndex(n.slot)));
+        }
+    }
+    for (u32 idx = 0; idx < info.numIndices; ++idx) {
+        // The outer half always executes; the inner half must execute
+        // whenever the (extent-clamped) split keeps it non-degenerate.
+        if (!bound[outerSlot(idx)]) {
+            bag.add(DiagCode::L002_ActiveSlotUnbound,
+                    "outer slot of index '" + info.indexNames[idx] +
+                        "' has no loop",
+                    static_cast<int>(idx));
+        }
+        if (nest.splitOf(idx) > 1 && !bound[innerSlot(idx)]) {
+            bag.add(DiagCode::L002_ActiveSlotUnbound,
+                    "index '" + info.indexNames[idx] + "' is split " +
+                        str(nest.splitOf(idx)) +
+                        "-way but its inner slot has no loop",
+                    static_cast<int>(idx));
+        }
+    }
+}
+
+void
+checkLevelResolution(const LoopNest& nest, DiagnosticBag& bag)
+{
+    const u32 num_levels = nest.numLevels();
+    const auto& loops = nest.loops();
+
+    // Walk outermost->innermost recording the order levels resolve in:
+    // a Sparse node resolves its own level, then fires its locates.
+    std::vector<int> resolved_at(num_levels, -1);
+    std::vector<u32> resolution_order;
+    for (std::size_t d = 0; d < loops.size(); ++d) {
+        const LoopNode& n = loops[d];
+        auto resolve = [&](u32 level, bool concordant) {
+            if (level >= num_levels) {
+                bag.add(DiagCode::L010_LevelSlotMismatch,
+                        "loop at depth " + str(d) + " references level " +
+                            str(level) + " of a " + str(num_levels) +
+                            "-level format",
+                        -1, static_cast<int>(level));
+                return;
+            }
+            if (resolved_at[level] >= 0) {
+                bag.add(DiagCode::L007_LevelResolvedTwice,
+                        "storage level " + str(level) +
+                            " is resolved more than once",
+                        -1, static_cast<int>(level));
+                return;
+            }
+            resolved_at[level] = static_cast<int>(d);
+            resolution_order.push_back(level);
+            if (nest.levelConcordant(level) != concordant) {
+                bag.add(DiagCode::L010_LevelSlotMismatch,
+                        "level " + str(level) + " is marked " +
+                            (nest.levelConcordant(level) ? "concordant"
+                                                         : "discordant") +
+                            " but is resolved by a " +
+                            (concordant ? "sparse traversal" : "locate step"),
+                        -1, static_cast<int>(level));
+            }
+        };
+        if (n.kind == LoopKind::Sparse) {
+            if (n.level < 0) {
+                bag.add(DiagCode::L010_LevelSlotMismatch,
+                        "sparse loop at depth " + str(d) +
+                            " carries no storage level");
+            } else {
+                if (static_cast<u32>(n.level) < num_levels &&
+                    nest.levelSlot(n.level) != n.slot) {
+                    bag.add(DiagCode::L010_LevelSlotMismatch,
+                            "sparse loop at depth " + str(d) +
+                                " binds slot " + str(n.slot) +
+                                " but its level " + str(n.level) +
+                                " stores slot " +
+                                str(nest.levelSlot(n.level)),
+                            static_cast<int>(slotIndex(n.slot)), n.level);
+                }
+                resolve(static_cast<u32>(n.level), /*concordant=*/true);
+            }
+        } else if (n.level >= 0) {
+            // Discordant Dense loop over a level slot: the level itself
+            // must be resolved by a locate somewhere (checked via L003),
+            // but the bookkeeping must agree on the slot.
+            if (static_cast<u32>(n.level) < num_levels &&
+                nest.levelSlot(n.level) != n.slot) {
+                bag.add(DiagCode::L010_LevelSlotMismatch,
+                        "dense loop at depth " + str(d) + " binds slot " +
+                            str(n.slot) + " but claims level " +
+                            str(n.level) + " which stores slot " +
+                            str(nest.levelSlot(n.level)),
+                        static_cast<int>(slotIndex(n.slot)), n.level);
+            }
+        }
+        for (const LocateStep& loc : n.locates) {
+            if (n.kind != LoopKind::Sparse) {
+                bag.add(DiagCode::L004_SparseParentNotDominated,
+                        "locate step at depth " + str(d) +
+                            " hangs off a dense loop; locates resolve "
+                            "relative to a traversed sparse level",
+                        -1, static_cast<int>(loc.level));
+            }
+            if (loc.level < num_levels &&
+                nest.levelSlot(loc.level) != loc.slot) {
+                bag.add(DiagCode::L010_LevelSlotMismatch,
+                        "locate at depth " + str(d) + " resolves level " +
+                            str(loc.level) + " with slot " + str(loc.slot) +
+                            " but that level stores slot " +
+                            str(nest.levelSlot(loc.level)),
+                        static_cast<int>(slotIndex(loc.slot)),
+                        static_cast<int>(loc.level));
+            }
+            int bound_depth = depthOf(nest, loc.slot);
+            if (bound_depth < 0 || bound_depth > static_cast<int>(d)) {
+                bag.add(DiagCode::L005_LocateSlotUnbound,
+                        "locate at depth " + str(d) + " consumes slot " +
+                            str(loc.slot) +
+                            " whose coordinate is not yet bound",
+                        static_cast<int>(slotIndex(loc.slot)),
+                        static_cast<int>(loc.level));
+            }
+            if (loc.level < num_levels) {
+                bool want_search =
+                    !levelSupportsDirectLocate(nest.levelFormat(loc.level));
+                if (loc.binarySearch != want_search) {
+                    bag.add(DiagCode::L008_LocateKindMismatch,
+                            "locate into level " + str(loc.level) +
+                                (want_search
+                                     ? " must binary-search (Compressed)"
+                                     : " must use a direct offset "
+                                       "(Uncompressed)"),
+                            static_cast<int>(slotIndex(loc.slot)),
+                            static_cast<int>(loc.level));
+                }
+                resolve(loc.level, /*concordant=*/false);
+            }
+        }
+    }
+
+    for (u32 l = 0; l < num_levels; ++l) {
+        if (resolved_at[l] < 0) {
+            bag.add(DiagCode::L003_LevelUnresolved,
+                    "storage level " + str(l) + " ('" +
+                        nest.slotVarName(nest.levelSlot(l)) +
+                        "') is never traversed or located",
+                    static_cast<int>(slotIndex(nest.levelSlot(l))),
+                    static_cast<int>(l));
+        }
+    }
+    // Position-parent domination: levels must resolve in level order — a
+    // child level's position space is defined by its parent's position.
+    for (std::size_t i = 1; i < resolution_order.size(); ++i) {
+        if (resolution_order[i] < resolution_order[i - 1]) {
+            bag.add(DiagCode::L004_SparseParentNotDominated,
+                    "storage level " + str(resolution_order[i]) +
+                        " resolves before its parent level " +
+                        str(resolution_order[i - 1]),
+                    -1, static_cast<int>(resolution_order[i]));
+        }
+    }
+}
+
+void
+checkExtents(const LoopNest& nest, DiagnosticBag& bag)
+{
+    const auto& info = algorithmInfo(nest.alg());
+    for (std::size_t d = 0; d < nest.loops().size(); ++d) {
+        const LoopNode& n = nest.loops()[d];
+        u32 idx = slotIndex(n.slot);
+        if (idx >= info.numIndices)
+            continue; // already an L010 above
+        u32 split = nest.splitOf(idx);
+        u32 extent = nest.shape().indexExtent[idx];
+        u32 want = slotIsInner(n.slot) ? split : ceilDiv(extent, split);
+        if (n.extent != want) {
+            bag.add(DiagCode::L006_SplitReconstruction,
+                    "loop at depth " + str(d) + " over '" +
+                        nest.slotVarName(n.slot) + "' has extent " +
+                        str(n.extent) + "; reconstructing coordinates of '" +
+                        info.indexNames[idx] + "' (extent " + str(extent) +
+                        ", split " + str(split) + ") requires " + str(want),
+                    static_cast<int>(idx));
+        }
+    }
+}
+
+void
+checkLeaf(const LoopNest& nest, DiagnosticBag& bag)
+{
+    const ComputeLeaf& leaf = nest.leaf();
+    if (leaf.alg != nest.alg()) {
+        bag.add(DiagCode::L009_VectorLeafMismatch,
+                "compute leaf is for " + algorithmName(leaf.alg) +
+                    " inside a " + algorithmName(nest.alg()) + " nest");
+        return;
+    }
+    if (leaf.vectorIndex < 0)
+        return; // no fused tail claimed: always sound, possibly slower
+    const auto& info = algorithmInfo(nest.alg());
+    if (static_cast<u32>(leaf.vectorIndex) >= info.numIndices) {
+        bag.add(DiagCode::L009_VectorLeafMismatch,
+                "vector index " + str(leaf.vectorIndex) + " out of range");
+        return;
+    }
+    bool ok = !nest.loops().empty();
+    if (ok) {
+        const LoopNode& last = nest.loops().back();
+        ok = last.kind == LoopKind::Dense && last.level < 0 &&
+             slotIndex(last.slot) == static_cast<u32>(leaf.vectorIndex) &&
+             nest.splitOf(slotIndex(last.slot)) == 1;
+    }
+    if (!ok) {
+        bag.add(DiagCode::L009_VectorLeafMismatch,
+                "leaf claims a vector tail over '" +
+                    info.indexNames[leaf.vectorIndex] +
+                    "' but the innermost loop is not that index's full "
+                    "unsplit dense loop",
+                leaf.vectorIndex);
+    }
+}
+
+/**
+ * Parallel-hazard pass. The interpreter chunks the outermost loop iff its
+ * index is non-reducing (it ignores the annotations entirely), so these
+ * hazards describe the emitted OpenMP C, where the annotation becomes a
+ * real `#pragma omp parallel for`.
+ */
+void
+checkParallelHazards(const LoopNest& nest, DiagnosticBag& bag)
+{
+    const auto& info = algorithmInfo(nest.alg());
+    for (std::size_t d = 0; d < nest.loops().size(); ++d) {
+        const LoopNode& n = nest.loops()[d];
+        if (!n.parallel)
+            continue;
+        u32 idx = slotIndex(n.slot);
+        if (idx < info.numIndices && info.isReduction[idx]) {
+            bag.add(DiagCode::R001_ParallelReductionRace,
+                    "parallel loop over reduction index '" +
+                        info.indexNames[idx] +
+                        "': concurrent += into the output without atomics "
+                        "or privatization",
+                    static_cast<int>(idx));
+        } else if (d > 0) {
+            // Any parallel loop under a serial ancestor: every inner index
+            // reached from distinct outer iterations writes disjoint or
+            // reduction slots; the interpreter ignores the annotation and
+            // the emitted C would open a nested parallel region per outer
+            // iteration.
+            bag.add(DiagCode::R002_NestedParallelIgnored,
+                    "parallel annotation at depth " + str(d) +
+                        " is not outermost; the runtime parallelizes only "
+                        "the outermost loop",
+                    static_cast<int>(idx));
+        }
+        if (n.chunk == 0) {
+            bag.add(DiagCode::R003_ParallelChunkZero,
+                    "parallel loop over '" + nest.slotVarName(n.slot) +
+                        "' has no chunk size (schedule(dynamic, 0))",
+                    static_cast<int>(idx));
+        }
+    }
+}
+
+} // namespace
+
+DiagnosticBag
+verifyLoopNest(const LoopNest& nest)
+{
+    DiagnosticBag bag;
+    checkBindings(nest, bag);
+    checkLevelResolution(nest, bag);
+    checkExtents(nest, bag);
+    checkLeaf(nest, bag);
+    checkParallelHazards(nest, bag);
+    return bag;
+}
+
+DiagnosticBag
+verifyLowered(const SuperSchedule& s, const ProblemShape& shape)
+{
+    DiagnosticBag bag = verifySchedule(s, shape);
+    if (bag.hasErrors())
+        return bag;
+    bag.merge(verifyLoopNest(lower(s, shape)));
+    return bag;
+}
+
+} // namespace waco::analysis

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * LoopNestVerifier: the second pass of the static-analysis pipeline, over
+ * the lowered LoopNest IR.
+ *
+ * Structural invariants (WACO-L0xx): every slot is bound by at most one
+ * loop and every active slot by exactly one; every storage level of A is
+ * resolved exactly once (by a concordant Sparse loop or by a LocateStep),
+ * in level order, with each level's resolution dominated by its position
+ * parent; locate steps only consume already-bound coordinates and their
+ * search kind matches the level format; loop extents reconstruct the
+ * original coordinates from the split (inner extent == split, outer ==
+ * ceil(extent/split)); the vector-tail leaf metadata matches the nest.
+ *
+ * Parallel-hazard analysis (WACO-R0xx): a parallel annotation on a loop
+ * whose index reduces into the output is a data race in the emitted
+ * OpenMP C (no atomics/privatization in the TACO-style statement) —
+ * error. Annotations the interpreter provably ignores (non-outermost
+ * parallel loops) and chunk-0 annotations are warnings.
+ *
+ * lower() always produces nests that verify clean (enforced by a debug
+ * self-check); the pass exists for nests built by other frontends —
+ * LoopNest::fromRaw — and as the fuzz tests' differential oracle.
+ */
+#pragma once
+
+#include "analysis/diagnostics.hpp"
+#include "ir/loopnest.hpp"
+
+namespace waco::analysis {
+
+/** Verify structural invariants and parallel hazards of @p nest. */
+DiagnosticBag verifyLoopNest(const LoopNest& nest);
+
+/**
+ * Whole-pipeline verification: verify @p s against @p shape, and when it
+ * is error-free also lower it and verify the resulting nest. The returned
+ * bag merges both passes' findings.
+ */
+DiagnosticBag verifyLowered(const SuperSchedule& s, const ProblemShape& shape);
+
+} // namespace waco::analysis

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "analysis/loopnest_verifier.hpp"
+
 namespace waco {
 
 namespace {
@@ -63,6 +65,15 @@ uPosExpr(const LoopNest& nest, u32 level, const std::string& coord)
 std::string
 emitC(const LoopNest& nest, u32 numThreads, const std::string& scheduleKey)
 {
+#ifndef NDEBUG
+    // The emitter prints whatever nest it is handed; make sure a fromRaw
+    // nest cannot turn into plausible-looking C that would mis-execute.
+    {
+        auto diags = analysis::verifyLoopNest(nest);
+        fatalIf(diags.hasErrors(),
+                "emitC: invalid loop nest:\n" + diags.format());
+    }
+#endif
     const auto& info = algorithmInfo(nest.alg());
     std::ostringstream os;
 

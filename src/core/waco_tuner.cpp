@@ -3,7 +3,9 @@
 #include <cmath>
 #include <limits>
 #include <thread>
+#include <unordered_map>
 
+#include "analysis/schedule_verifier.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -82,6 +84,29 @@ WacoTuner::buildGraph()
 {
     WACO_SPAN("train.build_graph");
     nodes_ = dataset_.allSchedules();
+    if (opt_.pruneCandidates) {
+        // Graph nodes span entries with different problem shapes, so only
+        // the structure-only verification applies here; shape-aware checks
+        // run again per query in the remeasurement pass. Sampled schedules
+        // always pass — this guards datasets loaded from disk or built by
+        // external tools.
+        std::size_t kept = 0;
+        for (std::size_t n = 0; n < nodes_.size(); ++n) {
+            if (analysis::verifySchedule(nodes_[n]).hasErrors()) {
+                WACO_COUNT("analysis.rejected", 1);
+                continue;
+            }
+            if (kept != n)
+                nodes_[kept] = std::move(nodes_[n]);
+            ++kept;
+        }
+        if (kept != nodes_.size()) {
+            logWarn("static verifier dropped " +
+                    std::to_string(nodes_.size() - kept) +
+                    " malformed schedules from the KNN graph");
+            nodes_.resize(kept);
+        }
+    }
     fatalIf(nodes_.empty(), "cannot build a KNN graph with no schedules");
     // Embed in chunks to bound peak memory.
     node_embeddings_ = nn::Mat(static_cast<u32>(nodes_.size()),
@@ -153,9 +178,40 @@ WacoTuner::tuneImpl(
     {
         WACO_SPAN("tune.measure");
         double best = std::numeric_limits<double>::infinity();
+        // Canonical-key cache: measurement-equivalent candidates (identical
+        // up to degenerate-slot bookkeeping) measure once and reuse the
+        // result. Safe because lower() and the oracle only see the active
+        // orders, which canonicalization preserves exactly.
+        std::unordered_map<std::string, Measurement> measured;
         for (const auto& hit : hits) {
             const SuperSchedule& s = nodes_[hit.id];
-            Measurement m = measure(s);
+            Measurement m;
+            if (opt_.pruneCandidates) {
+                auto diags = analysis::verifySchedule(s, shape);
+                if (diags.hasErrors()) {
+                    ++out.verifierRejected;
+                    WACO_COUNT("analysis.rejected", 1);
+                    logWarn("verifier rejected top-k candidate:\n" +
+                            diags.format());
+                    continue;
+                }
+                std::string ck = analysis::canonicalKey(s);
+                if (ck != s.key()) {
+                    ++out.candidatesCanonicalized;
+                    WACO_COUNT("analysis.canonicalized", 1);
+                }
+                auto it = measured.find(ck);
+                if (it != measured.end()) {
+                    ++out.measurementsReused;
+                    WACO_COUNT("analysis.measurements_reused", 1);
+                    m = it->second;
+                } else {
+                    m = measure(s);
+                    measured.emplace(std::move(ck), m);
+                }
+            } else {
+                m = measure(s);
+            }
             out.topK.push_back(s);
             out.topKMeasured.push_back(m);
             if (m.valid && m.seconds < best) {

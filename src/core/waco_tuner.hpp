@@ -37,6 +37,16 @@ struct WacoOptions
     u32 efConstruction = 60;
     u32 efSearch = 40;
     u32 topK = 10;               ///< Re-measured candidates (Section 5.2).
+    /**
+     * Run the static verifier over search candidates: graph nodes with
+     * structural errors are dropped at build time, and the top-k
+     * remeasurement pass rejects illegal candidates and dedupes
+     * measurement-equivalent ones by canonical key (degenerate-slot
+     * permutations lower to the same nest), reusing the first
+     * measurement. Never changes which schedule wins — only how many
+     * candidates are measured. OFF reproduces the unpruned protocol.
+     */
+    bool pruneCandidates = true;
     u64 seed = 42;
     /** Retry/denoise policy for every measurement (labeling + top-k
      *  remeasurement). The default (1 sample, 3 attempts) is a no-op on a
@@ -60,6 +70,14 @@ struct TuneOutcome
 
     /** Retry/fault/timeout counters of the top-k remeasurement pass. */
     MeasureStats remeasureStats;
+    /** Top-k candidates rejected by the static verifier (pruning on). */
+    u64 verifierRejected = 0;
+    /** Top-k candidates whose canonical form differs from their raw form
+     *  (degenerate-slot bookkeeping only; measurement-equivalent). */
+    u64 candidatesCanonicalized = 0;
+    /** Measurements served from a canonical-duplicate's earlier result
+     *  instead of a fresh oracle call (pruning on). */
+    u64 measurementsReused = 0;
     /** True when every top-k candidate came back invalid or faulted and
      *  the tuner degraded to the CSR-row-parallel default schedule. */
     bool fellBack = false;

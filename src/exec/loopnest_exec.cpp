@@ -4,6 +4,7 @@
 #include <atomic>
 #include <utility>
 
+#include "analysis/loopnest_verifier.hpp"
 #include "util/thread_pool.hpp"
 
 namespace waco {
@@ -381,6 +382,15 @@ executeLoopNest(const LoopNest& nest, const LoopNestArgs& args,
 {
     g_exec_count.fetch_add(1, std::memory_order_relaxed);
     fatalIf(args.a == nullptr, "executeLoopNest: missing sparse operand");
+#ifndef NDEBUG
+    // Nests from lower() verified at lowering time; this guards nests
+    // assembled through LoopNest::fromRaw from reaching the interpreter.
+    {
+        auto diags = analysis::verifyLoopNest(nest);
+        fatalIf(diags.hasErrors(),
+                "executeLoopNest: invalid loop nest:\n" + diags.format());
+    }
+#endif
     const HierSparseTensor& a = *args.a;
     checkTensorMatchesNest(nest, a);
     const auto& ext = nest.shape().indexExtent;

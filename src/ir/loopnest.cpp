@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/loopnest_verifier.hpp"
+#include "analysis/schedule_verifier.hpp"
+
 namespace waco {
+
+LoopNest
+LoopNest::fromRaw(Algorithm alg, const ProblemShape& shape,
+                  const std::array<u32, 4>& splits,
+                  std::vector<LoopNode> loops, ComputeLeaf leaf,
+                  std::vector<u32> levelSlots,
+                  std::vector<LevelFormat> levelFormats,
+                  std::vector<bool> levelConcordant)
+{
+    LoopNest nest;
+    nest.alg_ = alg;
+    nest.shape_ = shape;
+    nest.splits_ = splits;
+    nest.loops_ = std::move(loops);
+    nest.leaf_ = leaf;
+    nest.levelSlots_ = std::move(levelSlots);
+    nest.levelFormats_ = std::move(levelFormats);
+    nest.levelConcordant_ = std::move(levelConcordant);
+    return nest;
+}
 
 u32
 LoopNest::loopPositionOf(u32 slot) const
@@ -82,7 +105,9 @@ LoopNest::describe() const
 LoopNest
 lower(const SuperSchedule& s, const ProblemShape& shape)
 {
-    validateSchedule(s, shape);
+    // Front-door verification: all structural errors at once, not just the
+    // first (the thrown message lists every WACO-S0xx finding).
+    analysis::verifySchedule(s, shape).throwIfErrors("lower");
     const auto& info = algorithmInfo(s.alg);
 
     LoopNest nest;
@@ -159,6 +184,16 @@ lower(const SuperSchedule& s, const ProblemShape& shape)
             nest.leaf_.vectorIndex = static_cast<int>(idx);
         }
     }
+#ifndef NDEBUG
+    // Lowering self-check: a verified schedule must lower to a nest that
+    // satisfies every structural invariant. A failure here is a lowering
+    // bug, not a user error.
+    {
+        auto diags = analysis::verifyLoopNest(nest);
+        panicIf(diags.hasErrors(),
+                "lower produced an invalid loop nest:\n" + diags.format());
+    }
+#endif
     return nest;
 }
 

@@ -120,6 +120,20 @@ class LoopNest
     /** Multi-line human-readable dump (debugging / logging). */
     std::string describe() const;
 
+    /**
+     * Assemble a nest directly from its parts, bypassing lower(). NO
+     * validation happens here — the result may violate every nest
+     * invariant. This is the entry point for alternative frontends and
+     * for the analysis tests, which corrupt nests deliberately; run
+     * analysis::verifyLoopNest() before executing or emitting one.
+     */
+    static LoopNest fromRaw(Algorithm alg, const ProblemShape& shape,
+                            const std::array<u32, 4>& splits,
+                            std::vector<LoopNode> loops, ComputeLeaf leaf,
+                            std::vector<u32> levelSlots,
+                            std::vector<LevelFormat> levelFormats,
+                            std::vector<bool> levelConcordant);
+
   private:
     friend LoopNest lower(const SuperSchedule& s, const ProblemShape& shape);
 

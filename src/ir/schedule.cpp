@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "analysis/schedule_verifier.hpp"
+
 namespace waco {
 
 std::string
@@ -28,6 +30,102 @@ SuperSchedule::key() const
     for (bool rm : denseRowMajor)
         os << (rm ? 'r' : 'c');
     return os.str();
+}
+
+SuperSchedule
+SuperSchedule::parseKey(const std::string& key)
+{
+    // Grammar (the exact key() output):
+    //   <alg>|s=<u32>,..|lo=<u32>,..|p=<u32>:<u32>:<u32>|slo=<u32>,..
+    //        |lf=[UC]*|dl=[rc]*
+    auto fail = [&](const std::string& why) -> void {
+        throw FatalError("parseKey: " + why + " in '" + key + "'");
+    };
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t bar = key.find('|', start);
+        parts.push_back(key.substr(start, bar - start));
+        if (bar == std::string::npos)
+            break;
+        start = bar + 1;
+    }
+    if (parts.size() != 7)
+        fail("expected 7 '|'-separated fields");
+
+    auto expect_prefix = [&](const std::string& part,
+                             const std::string& prefix) {
+        if (part.rfind(prefix, 0) != 0)
+            fail("expected field '" + prefix + "...'");
+        return part.substr(prefix.size());
+    };
+    auto parse_u32 = [&](const std::string& tok) -> u32 {
+        if (tok.empty() ||
+            tok.find_first_not_of("0123456789") != std::string::npos)
+            fail("expected a number, got '" + tok + "'");
+        unsigned long v = std::stoul(tok);
+        if (v > 0xfffffffful)
+            fail("number out of range: '" + tok + "'");
+        return static_cast<u32>(v);
+    };
+    auto parse_list = [&](const std::string& body, char sep) {
+        std::vector<u32> out;
+        if (body.empty())
+            return out;
+        std::size_t pos = 0;
+        while (true) {
+            std::size_t next = body.find(sep, pos);
+            out.push_back(parse_u32(body.substr(pos, next - pos)));
+            if (next == std::string::npos)
+                break;
+            pos = next + 1;
+        }
+        return out;
+    };
+
+    SuperSchedule s;
+    bool alg_found = false;
+    for (Algorithm alg : allAlgorithms()) {
+        if (algorithmName(alg) == parts[0]) {
+            s.alg = alg;
+            alg_found = true;
+        }
+    }
+    if (!alg_found)
+        fail("unknown algorithm '" + parts[0] + "'");
+    const auto& info = algorithmInfo(s.alg);
+
+    auto splits = parse_list(expect_prefix(parts[1], "s="), ',');
+    if (splits.size() != info.numIndices)
+        fail("wrong split count");
+    for (u32 idx = 0; idx < info.numIndices; ++idx)
+        s.splits[idx] = splits[idx];
+
+    auto lo = parse_list(expect_prefix(parts[2], "lo="), ',');
+    s.loopOrder.assign(lo.begin(), lo.end());
+
+    auto p = parse_list(expect_prefix(parts[3], "p="), ':');
+    if (p.size() != 3)
+        fail("expected p=<slot>:<threads>:<chunk>");
+    s.parallelSlot = p[0];
+    s.numThreads = p[1];
+    s.ompChunk = p[2];
+
+    auto slo = parse_list(expect_prefix(parts[4], "slo="), ',');
+    s.sparseLevelOrder.assign(slo.begin(), slo.end());
+
+    for (char c : expect_prefix(parts[5], "lf=")) {
+        if (c != 'U' && c != 'C')
+            fail("level format must be 'U' or 'C'");
+        s.sparseLevelFormats.push_back(c == 'U' ? LevelFormat::Uncompressed
+                                                : LevelFormat::Compressed);
+    }
+    for (char c : expect_prefix(parts[6], "dl=")) {
+        if (c != 'r' && c != 'c')
+            fail("dense layout must be 'r' or 'c'");
+        s.denseRowMajor.push_back(c == 'r');
+    }
+    return s;
 }
 
 std::string
@@ -205,33 +303,10 @@ concordance(const SuperSchedule& s)
 void
 validateSchedule(const SuperSchedule& s, const ProblemShape& shape)
 {
-    const auto& info = algorithmInfo(s.alg);
-    fatalIf(s.loopOrder.size() != 2 * info.numIndices,
-            "loop order must permute all slots");
-    std::vector<bool> seen(2 * info.numIndices, false);
-    for (u32 slot : s.loopOrder) {
-        fatalIf(slot >= 2 * info.numIndices, "loop order slot out of range");
-        fatalIf(seen[slot], "duplicate slot in loop order");
-        seen[slot] = true;
-    }
-    fatalIf(s.sparseLevelOrder.size() != 2 * info.sparseOrder,
-            "sparse level order must permute the sparse slots");
-    fatalIf(s.sparseLevelFormats.size() != s.sparseLevelOrder.size(),
-            "level formats must align with the sparse level order");
-    for (u32 slot : s.sparseLevelOrder) {
-        fatalIf(info.sparseDim[slotIndex(slot)] < 0,
-                "sparse level order references a dense-only index");
-    }
-    u32 pidx = slotIndex(s.parallelSlot);
-    fatalIf(pidx >= info.numIndices, "parallel slot out of range");
-    fatalIf(info.isReduction[pidx],
-            "cannot parallelize a reduction index variable");
-    for (u32 idx = 0; idx < info.numIndices; ++idx) {
-        fatalIf(s.splits[idx] == 0, "zero split size");
-        fatalIf(shape.indexExtent[idx] == 0, "zero index extent in shape");
-    }
-    fatalIf(s.denseRowMajor.size() != info.denseOperands.size(),
-            "dense layout flags must align with dense operands");
+    // Thin wrapper over the static verifier (src/analysis): callers that
+    // want the individual findings instead of an exception should call
+    // analysis::verifySchedule directly.
+    analysis::verifySchedule(s, shape).throwIfErrors("validateSchedule");
 }
 
 SuperScheduleSpace::SuperScheduleSpace(Algorithm alg, const ProblemShape& shape)

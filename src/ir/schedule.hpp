@@ -60,6 +60,14 @@ struct SuperSchedule
     /** Compact unique string key (used for dedup and hashing). */
     std::string key() const;
 
+    /**
+     * Parse a key() string back into a schedule (exact inverse:
+     * parse(k).key() == k). Throws FatalError on malformed input. The
+     * result is NOT legality-checked — feed it to analysis::verifySchedule
+     * (what `tune_cli --verify-only --schedule KEY` does).
+     */
+    static SuperSchedule parseKey(const std::string& key);
+
     /** Human-readable multi-line description. */
     std::string describe() const;
 
@@ -111,7 +119,12 @@ FormatDescriptor formatOf(const SuperSchedule& s, const ProblemShape& shape);
  */
 double concordance(const SuperSchedule& s);
 
-/** Validate internal consistency; throws FatalError when malformed. */
+/**
+ * Validate internal consistency; throws FatalError listing every
+ * structural error when malformed. Thin wrapper over the diagnostics-based
+ * analysis::verifySchedule (src/analysis/schedule_verifier.hpp) — prefer
+ * that API when you want findings instead of an exception.
+ */
 void validateSchedule(const SuperSchedule& s, const ProblemShape& shape);
 
 /**

@@ -25,6 +25,35 @@ namespace waco {
 /** Physical storage of one coordinate-hierarchy level. */
 enum class LevelFormat : unsigned char { Uncompressed, Compressed };
 
+/**
+ * Level capabilities in the sense of the Chou et al. abstraction: what a
+ * kernel may do to a level depends only on its format. The static
+ * verifier (src/analysis) checks schedules against these.
+ */
+
+/** Coordinate lookup at a known parent position: direct offset for U,
+ *  binary search over crd for C (legal but O(log nnz) per probe). */
+constexpr bool
+levelSupportsLocate(LevelFormat f)
+{
+    return f == LevelFormat::Uncompressed || f == LevelFormat::Compressed;
+}
+
+/** O(log) locate — only U levels resolve a coordinate without a search. */
+constexpr bool
+levelSupportsDirectLocate(LevelFormat f)
+{
+    return f == LevelFormat::Uncompressed;
+}
+
+/** Writing at an arbitrary coordinate not already present. C levels are
+ *  append-only (pos/crd arrays), so only U levels qualify. */
+constexpr bool
+levelSupportsRandomInsert(LevelFormat f)
+{
+    return f == LevelFormat::Uncompressed;
+}
+
 /** Which part of a (possibly split) dimension a level represents. */
 enum class LevelPart : unsigned char { Full, Outer, Inner };
 

@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include "analysis/schedule_verifier.hpp"
+
 #include "baselines/baselines.hpp"
 #include "data/generators.hpp"
 
@@ -70,7 +72,8 @@ TEST_F(BaselineTest, BestFormatCandidatesAreValidAndDistinct)
     ASSERT_EQ(cands.size(), 5u);
     std::set<std::string> keys;
     for (const auto& c : cands) {
-        EXPECT_NO_THROW(validateSchedule(c, shape)) << c.key();
+        EXPECT_FALSE(analysis::verifySchedule(c, shape).hasErrors())
+            << c.key();
         keys.insert(formatOf(c, shape).name());
     }
     EXPECT_EQ(keys.size(), 5u) << "all five formats distinct";

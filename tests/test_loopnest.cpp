@@ -24,6 +24,7 @@
 #include <set>
 #include <thread>
 
+#include "analysis/loopnest_verifier.hpp"
 #include "codegen/emit.hpp"
 #include "exec/loopnest_exec.hpp"
 #include "exec/reference.hpp"
@@ -170,6 +171,11 @@ fuzz2d(Algorithm alg, u32 target, u64 seed)
         }
 
         LoopNest nest = lower(s, shape);
+        // Verifier as differential oracle: everything this harness executes
+        // (and bit-matches below) must verify error-free — a false reject
+        // here is exactly as much a bug as a false accept in test_analysis.
+        auto diags = analysis::verifyLowered(s, shape);
+        EXPECT_FALSE(diags.hasErrors()) << s.key() << "\n" << diags.format();
         if (hasBinarySearchLocate(nest))
             ++st.discordant;
         expectEmitNamesEveryLoop(s, nest);
@@ -239,6 +245,11 @@ fuzzMttkrp(u32 target, u64 seed)
         }
 
         LoopNest nest = lower(s, shape);
+        // Verifier as differential oracle: everything this harness executes
+        // (and bit-matches below) must verify error-free — a false reject
+        // here is exactly as much a bug as a false accept in test_analysis.
+        auto diags = analysis::verifyLowered(s, shape);
+        EXPECT_FALSE(diags.hasErrors()) << s.key() << "\n" << diags.format();
         if (hasBinarySearchLocate(nest))
             ++st.discordant;
         expectEmitNamesEveryLoop(s, nest);

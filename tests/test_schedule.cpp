@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "analysis/schedule_verifier.hpp"
 #include "ir/schedule.hpp"
 
 namespace waco {
@@ -100,6 +101,11 @@ TEST(SuperSchedule, ValidateRejectsParallelReduction)
     auto shape = ProblemShape::forMatrix(Algorithm::SpMM, 64, 64);
     auto s = defaultSchedule(shape);
     s.parallelSlot = outerSlot(1); // k is the reduction index of SpMM
+    // The diagnostics API names the exact violation...
+    auto diags = analysis::verifySchedule(s, shape);
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(diags.has(analysis::DiagCode::S009_ParallelReduction));
+    // ...and the legacy throwing wrapper still rejects.
     EXPECT_THROW(validateSchedule(s, shape), FatalError);
 }
 
@@ -132,9 +138,11 @@ TEST_P(SampledSchedules, AlwaysValid)
     SuperScheduleSpace space(alg, shape);
     for (int n = 0; n < 25; ++n) {
         auto s = space.sample(rng);
-        EXPECT_NO_THROW(validateSchedule(s, shape)) << s.key();
+        EXPECT_FALSE(analysis::verifySchedule(s, shape).hasErrors())
+            << s.key();
         auto mutated = space.mutate(s, rng);
-        EXPECT_NO_THROW(validateSchedule(mutated, shape)) << mutated.key();
+        EXPECT_FALSE(analysis::verifySchedule(mutated, shape).hasErrors())
+            << mutated.key();
         // The format half must always be constructible as a descriptor.
         EXPECT_NO_THROW(formatOf(s, shape)) << s.key();
     }

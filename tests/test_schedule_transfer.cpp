@@ -8,6 +8,8 @@
  */
 #include <gtest/gtest.h>
 
+#include "analysis/schedule_verifier.hpp"
+
 #include <set>
 
 #include "ir/schedule.hpp"
@@ -27,7 +29,7 @@ TEST(WellKnownFormats, FiveDistinctValidFamilies)
         ASSERT_EQ(fams.size(), 5u) << algorithmName(alg);
         std::set<std::string> fmt_names;
         for (const auto& s : fams) {
-            EXPECT_NO_THROW(validateSchedule(s, shape));
+            EXPECT_FALSE(analysis::verifySchedule(s, shape).hasErrors());
             fmt_names.insert(formatOf(s, shape).name());
         }
         EXPECT_EQ(fmt_names.size(), 5u) << algorithmName(alg);
@@ -52,7 +54,8 @@ TEST(ScheduleTransfer, BigScheduleAppliesToTinyShape)
     RuntimeOracle oracle(MachineConfig::intel24());
     for (int n = 0; n < 30; ++n) {
         auto s = space.sample(rng);
-        EXPECT_NO_THROW(validateSchedule(s, tiny)) << s.key();
+        EXPECT_FALSE(analysis::verifySchedule(s, tiny).hasErrors())
+            << s.key();
         auto fmt = formatOf(s, tiny);
         auto t = HierSparseTensor::build(fmt, m);
         EXPECT_EQ(t.toSparseMatrix(), m) << s.key();
