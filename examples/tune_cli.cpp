@@ -17,11 +17,22 @@
  * --diag-out, export as JSON; the exit code is 1 when any WACO-…
  * error-severity finding fires, 0 otherwise.
  *
+ * --serve demos the tuning-as-a-service layer instead of a single tune:
+ * a TunerService is stood up over the trained tuner and a batch of
+ * requests (repeats included, so the cross-request cache shows itself) is
+ * pushed through with per-request deadlines (--deadline-ms), a bounded
+ * admission queue (--max-queue), and, with --cache-journal, a crash-safe
+ * persistent result cache — the demo then "restarts" the server on the
+ * same journal and shows the repeated request served from the recovered
+ * cache with zero new measurements.
+ *
  * Usage: example_tune_cli [spmv|spmm|sddmm] [matrix.mtx]
  *          [--faults P] [--noise SIGMA] [--timeout SECS]
  *          [--retries N] [--median K] [--checkpoint FILE]
  *          [--trace-out FILE] [--metrics-out FILE]
  *          [--verify-only] [--schedule KEY] [--diag-out FILE]
+ *          [--serve] [--deadline-ms N] [--max-queue N]
+ *          [--cache-journal FILE]
  */
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +45,7 @@
 #include "core/waco_tuner.hpp"
 #include "data/generators.hpp"
 #include "perfmodel/faulty_oracle.hpp"
+#include "service/tuner_service.hpp"
 #include "tensor/mmio.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
@@ -52,7 +64,9 @@ usage(const char* argv0)
                  "          [--retries N] [--median K] [--checkpoint FILE]\n"
                  "          [--trace-out FILE] [--metrics-out FILE]\n"
                  "          [--verify-only] [--schedule KEY] "
-                 "[--diag-out FILE]\n",
+                 "[--diag-out FILE]\n"
+                 "          [--serve] [--deadline-ms N] [--max-queue N]\n"
+                 "          [--cache-journal FILE]\n",
                  argv0);
     std::exit(2);
 }
@@ -72,6 +86,10 @@ run(int argc, char** argv)
     std::string trace_path, metrics_path;
     bool verify_only = false;
     std::string schedule_key, diag_path;
+    bool serve = false;
+    double deadline_ms = std::numeric_limits<double>::infinity();
+    u32 max_queue = 16;
+    std::string journal_path;
 
     for (int i = 1; i < argc; ++i) {
         auto num = [&](double lo) {
@@ -123,6 +141,16 @@ run(int argc, char** argv)
             if (i + 1 >= argc)
                 usage(argv[0]);
             diag_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--serve")) {
+            serve = true;
+        } else if (!std::strcmp(argv[i], "--deadline-ms")) {
+            deadline_ms = num(0.0);
+        } else if (!std::strcmp(argv[i], "--max-queue")) {
+            max_queue = static_cast<u32>(num(0.0));
+        } else if (!std::strcmp(argv[i], "--cache-journal")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            journal_path = argv[++i];
         } else if (argv[i][0] != '-' && matrix_path.empty()) {
             matrix_path = argv[i];
         } else {
@@ -214,6 +242,89 @@ run(int argc, char** argv)
         tuner.trainOnDataset(ds);
     } else {
         tuner.train(corpus);
+    }
+
+    if (serve) {
+        using namespace waco::service;
+        ServiceConfig scfg;
+        scfg.maxQueue = max_queue;
+        // The demo batch comes from one "tenant"; let the queue bound, not
+        // the per-tenant fairness cap, be the admission limit here.
+        scfg.maxInflightPerTenant = std::max(max_queue, 1u) + 1;
+        scfg.defaultDeadlineSeconds = deadline_ms * 1e-3;
+        scfg.cacheJournalPath = journal_path;
+
+        // The demo batch: the input matrix three times (the 2nd/3rd show
+        // the cross-request cache) plus a couple of fresh patterns.
+        Rng srng(177);
+        std::vector<SparseMatrix> batch = {m, m};
+        batch.push_back(genUniform(1024, 1024, 20000, srng));
+        batch.push_back(genPowerLawRows(2048, 2048, 30000, 1.2, srng));
+        batch.push_back(m);
+
+        std::string journal_note =
+            journal_path.empty() ? "" : ", journal " + journal_path;
+        std::printf("\n--- serving %zu requests (deadline %.3g ms, "
+                    "queue %u%s) ---\n",
+                    batch.size(), deadline_ms, max_queue,
+                    journal_note.c_str());
+        auto serve_batch = [&](TunerService& server) {
+            std::vector<TicketPtr> tickets;
+            for (const auto& req : batch)
+                tickets.push_back(server.submit(req));
+            std::printf("  %-4s %-18s %-17s %-10s %s\n", "#", "status",
+                        "rung", "ms", "expected ms");
+            for (std::size_t i = 0; i < tickets.size(); ++i) {
+                const TuneResponse& r = tickets[i]->wait();
+                std::printf("  %-4zu %-18s %-17s %-10.3f %.3f\n", i,
+                            serviceStatusName(r.status), rungName(r.rung),
+                            r.latencySeconds * 1e3,
+                            r.expectedSeconds * 1e3);
+            }
+            ServiceStats st = server.stats();
+            std::printf("  p50 %.3f ms, p99 %.3f ms, %llu cache hit(s), "
+                        "%llu shed\n",
+                        st.latencyP50 * 1e3, st.latencyP99 * 1e3,
+                        static_cast<unsigned long long>(st.cacheHits),
+                        static_cast<unsigned long long>(st.shed));
+        };
+        u64 measured_before = tuner.backend().measurementCount();
+        {
+            TunerService server(tuner, scfg);
+            serve_batch(server);
+        }
+        if (!journal_path.empty()) {
+            // Cold restart on the same journal: the repeated request is
+            // served from the recovered cache without re-measuring.
+            std::printf("\n--- cold restart: recovering %s ---\n",
+                        journal_path.c_str());
+            TunerService server(tuner, scfg);
+            std::printf("  recovered %llu cached result(s), dropped %llu "
+                        "torn byte(s)\n",
+                        static_cast<unsigned long long>(
+                            server.cache().recoveredRecords()),
+                        static_cast<unsigned long long>(
+                            server.cache().droppedBytes()));
+            u64 count_before = tuner.backend().measurementCount();
+            const TuneResponse& r = server.submit(m)->wait();
+            std::printf("  repeat request: %s via %s (%.3f ms, %llu new "
+                        "measurements)\n",
+                        serviceStatusName(r.status), rungName(r.rung),
+                        r.latencySeconds * 1e3,
+                        static_cast<unsigned long long>(
+                            tuner.backend().measurementCount() -
+                            count_before));
+        }
+        (void)measured_before;
+        if (!metrics_path.empty()) {
+            metrics::writeMetricsJson(metrics_path);
+            std::printf("wrote metrics to %s\n", metrics_path.c_str());
+        }
+        if (!trace_path.empty()) {
+            trace::writeChromeTrace(trace_path);
+            std::printf("wrote Chrome trace to %s\n", trace_path.c_str());
+        }
+        return 0;
     }
 
     auto outcome = tuner.tune(m);

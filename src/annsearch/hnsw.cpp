@@ -261,7 +261,7 @@ Hnsw::searchGeneric(const std::function<double(u32)>& score, u32 k, u32 ef,
 
 std::vector<HnswHit>
 Hnsw::searchGenericBatched(const BatchScoreFn& score, u32 k, u32 ef,
-                           u64* evals) const
+                           u64* evals, const StopFn& should_stop) const
 {
     if (size() == 0)
         return {};
@@ -284,6 +284,13 @@ Hnsw::searchGenericBatched(const BatchScoreFn& score, u32 k, u32 ef,
     results.push({entry_, d0});
     tryVisit(entry_);
     while (!candidates.empty()) {
+        // Cooperative cancellation: an expired tuning deadline stops the
+        // walk here and the hits collected so far are returned — still a
+        // valid (if shallower) candidate set, never garbage.
+        if (should_stop && should_stop()) {
+            WACO_COUNT("hnsw.search_truncated", 1);
+            break;
+        }
         HnswHit c = candidates.top();
         candidates.pop();
         if (results.size() >= ef && c.dist > results.top().dist)

@@ -79,16 +79,25 @@ class Hnsw
     using BatchScoreFn =
         std::function<void(const u32* ids, u32 count, double* out)>;
 
+    /** Cooperative-stop poll: checked once per frontier expansion. */
+    using StopFn = std::function<bool()>;
+
     /**
      * searchGeneric with frontier-batched scoring: every expansion collects
      * the popped node's unvisited neighbors and issues a single score call
      * for the whole set. Visit order, eval count, and returned hits are
      * identical to searchGeneric with a pointwise scorer computing the
      * same values.
+     *
+     * @param should_stop polled before each frontier expansion; when it
+     *        returns true the walk stops and returns the best hits found so
+     *        far (a valid, bounded-quality prefix of the full search — the
+     *        entry point is always scored, so the result is never empty on
+     *        a non-empty index). Empty function = never stop.
      */
-    std::vector<HnswHit> searchGenericBatched(const BatchScoreFn& score,
-                                              u32 k, u32 ef,
-                                              u64* evals = nullptr) const;
+    std::vector<HnswHit> searchGenericBatched(
+        const BatchScoreFn& score, u32 k, u32 ef, u64* evals = nullptr,
+        const StopFn& should_stop = {}) const;
 
     /** Layer-0 adjacency of a node (for diagnostics/tests). */
     const std::vector<u32>& neighbors(u32 id) const

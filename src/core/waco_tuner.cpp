@@ -133,12 +133,22 @@ WacoTuner::buildGraph()
 TuneOutcome
 WacoTuner::tuneImpl(
     const PatternInput& pattern, const ProblemShape& shape,
-    const std::function<Measurement(const SuperSchedule&)>& measure)
+    const std::function<Measurement(const SuperSchedule&)>& measure,
+    const TuneControl& ctl)
 {
     fatalIf(!graph_, "WacoTuner::tune called before train()");
     WACO_SPAN("tune");
     WACO_COUNT("tune.calls", 1);
     TuneOutcome out;
+
+    // Cooperative cancellation poll: token (deadline or client cancel)
+    // ORed with the test-injectable hook.
+    auto stop = [&ctl] {
+        return (ctl.cancel && ctl.cancel->stopRequested()) ||
+               (ctl.stopHook && ctl.stopHook());
+    };
+    if (stop())
+        throw CancelledError("tune cancelled before feature extraction");
 
     // Phase 1 (Fig 16b): run the feature extractor once for this input.
     Timer feature_timer;
@@ -148,6 +158,10 @@ WacoTuner::tuneImpl(
         feature = model_->extractFeature(pattern);
     }
     out.featureSeconds = feature_timer.seconds();
+    // An expired deadline here means no candidate exists yet: nothing to
+    // degrade to except the caller's own default-schedule rung.
+    if (stop())
+        throw CancelledError("tune cancelled after feature extraction");
 
     // Phase 2: ANNS over the KNN graph; only the predictor head runs. The
     // feature's first-layer partial product is hoisted once per query, and
@@ -167,10 +181,57 @@ WacoTuner::tuneImpl(
         };
         hits = graph_->searchGenericBatched(
             score, opt_.topK, std::max(opt_.efSearch, opt_.topK),
-            &out.costEvaluations);
+            &out.costEvaluations, stop);
     }
     out.searchSeconds = search_timer.seconds();
     WACO_COUNT("tune.cost_evals", out.costEvaluations);
+    if (stop()) {
+        // The walk returned a truncated (but valid) candidate prefix.
+        out.truncated = true;
+        WACO_COUNT("tune.truncated", 1);
+    }
+    if (hits.empty())
+        throw CancelledError("tune cancelled before any candidate scored");
+
+    // Model-only selection: the best verifier-clean hit by predicted cost,
+    // reported unmeasured. Used by the skipMeasure rung (circuit breaker
+    // open) and as the last in-tuner rung when a deadline expires before
+    // any candidate measured validly.
+    auto pick_by_model = [&]() {
+        out.modelOnly = true;
+        WACO_COUNT("tune.model_only", 1);
+        for (const auto& hit : hits) {
+            const SuperSchedule& s = nodes_[hit.id];
+            if (opt_.pruneCandidates &&
+                analysis::verifySchedule(s, shape).hasErrors()) {
+                ++out.verifierRejected;
+                WACO_COUNT("analysis.rejected", 1);
+                continue;
+            }
+            out.best = s;
+            out.bestMeasured = Measurement{};
+            out.bestMeasured.seconds = hit.dist; // predicted, not measured
+            out.bestMeasured.valid = false;
+            out.bestMeasured.invalidReason = "model-only";
+            return;
+        }
+        // Every hit is structurally illegal for this shape: degrade to the
+        // known-safe default, still without touching the backend.
+        out.fellBack = true;
+        WACO_COUNT("tune.fallbacks", 1);
+        out.best = defaultSchedule(shape);
+        out.bestMeasured = Measurement{};
+        out.bestMeasured.seconds = std::numeric_limits<double>::infinity();
+        out.bestMeasured.valid = false;
+        out.bestMeasured.invalidReason = "model-only";
+    };
+
+    if (ctl.skipMeasure) {
+        pick_by_model();
+        out.convertSeconds = oracle_.conversionSeconds(
+            pattern.coords.size(), out.bestMeasured.storedValues);
+        return out;
+    }
 
     // Phase 3: re-measure the top-k on the "hardware" and keep the fastest
     // (the paper's Section 5.2 protocol).
@@ -184,6 +245,14 @@ WacoTuner::tuneImpl(
         // orders, which canonicalization preserves exactly.
         std::unordered_map<std::string, Measurement> measured;
         for (const auto& hit : hits) {
+            // Between-measurement cancellation point: keep whatever top-k
+            // prefix is already measured instead of hogging the backend
+            // past the deadline.
+            if (stop()) {
+                out.truncated = true;
+                WACO_COUNT("tune.truncated_measure", 1);
+                break;
+            }
             const SuperSchedule& s = nodes_[hit.id];
             Measurement m;
             if (opt_.pruneCandidates) {
@@ -222,16 +291,23 @@ WacoTuner::tuneImpl(
         }
         out.remeasureSeconds = measure_timer.seconds();
         if (!std::isfinite(best)) {
-            // Every candidate came back invalid or faulted: degrade to the
-            // known-safe CSR-row-parallel default rather than returning an
-            // invalid winner.
-            out.fellBack = true;
-            WACO_COUNT("tune.fallbacks", 1);
-            out.best = defaultSchedule(shape);
-            out.bestMeasured = measure(out.best);
-            logWarn("all top-" + std::to_string(out.topK.size()) +
-                    " remeasurements invalid; falling back to the default "
-                    "CSR schedule");
+            if (stop()) {
+                // The deadline expired before any candidate measured
+                // validly; measuring more (even the default) would blow
+                // further past it. Fall down to the model-score rung.
+                pick_by_model();
+            } else {
+                // Every candidate came back invalid or faulted: degrade to
+                // the known-safe CSR-row-parallel default rather than
+                // returning an invalid winner.
+                out.fellBack = true;
+                WACO_COUNT("tune.fallbacks", 1);
+                out.best = defaultSchedule(shape);
+                out.bestMeasured = measure(out.best);
+                logWarn("all top-" + std::to_string(out.topK.size()) +
+                        " remeasurements invalid; falling back to the "
+                        "default CSR schedule");
+            }
         }
     }
     out.convertSeconds = oracle_.conversionSeconds(
@@ -240,27 +316,27 @@ WacoTuner::tuneImpl(
 }
 
 TuneOutcome
-WacoTuner::tune(const SparseMatrix& m)
+WacoTuner::tune(const SparseMatrix& m, const TuneControl& ctl)
 {
     auto shape = ProblemShape::forMatrix(alg_, m.rows(), m.cols());
     auto pattern = PatternInput::fromMatrix(m);
     RobustMeasurer robust(backend(), opt_.retry);
     auto out = tuneImpl(pattern, shape, [&](const SuperSchedule& s) {
         return robust.measure(m, shape, s);
-    });
+    }, ctl);
     out.remeasureStats = robust.stats();
     return out;
 }
 
 TuneOutcome
-WacoTuner::tune3d(const Sparse3Tensor& t)
+WacoTuner::tune3d(const Sparse3Tensor& t, const TuneControl& ctl)
 {
     auto shape = ProblemShape::forTensor3(alg_, t.dimI(), t.dimK(), t.dimL());
     auto pattern = PatternInput::fromTensor3(t);
     RobustMeasurer robust(backend(), opt_.retry);
     auto out = tuneImpl(pattern, shape, [&](const SuperSchedule& s) {
         return robust.measure(t, shape, s);
-    });
+    }, ctl);
     out.remeasureStats = robust.stats();
     return out;
 }

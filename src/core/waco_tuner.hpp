@@ -15,6 +15,7 @@
  */
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "annsearch/hnsw.hpp"
@@ -23,6 +24,7 @@
 #include "model/waco_model.hpp"
 #include "perfmodel/cost_model.hpp"
 #include "perfmodel/robust_measure.hpp"
+#include "util/cancel.hpp"
 
 namespace waco {
 
@@ -54,6 +56,28 @@ struct WacoOptions
     RetryPolicy retry = {};
 };
 
+/**
+ * Per-call controls threaded through tune()'s extract/search/measure
+ * phases. All default-constructed fields reproduce the uncontrolled
+ * protocol exactly (same code path, bitwise-identical results).
+ */
+struct TuneControl
+{
+    /** Cooperative cancel/deadline token, polled at phase boundaries, HNSW
+     *  frontier steps, and between top-k measurements. When it fires
+     *  before any candidate exists, tune() throws CancelledError; once
+     *  candidates exist, tune() degrades instead (truncated / modelOnly
+     *  flags in the outcome). Null = never cancelled. */
+    const CancelToken* cancel = nullptr;
+    /** Extra stop predicate ORed with the token — lets tests fire a
+     *  deterministic cancellation at the Nth checkpoint. */
+    std::function<bool()> stopHook;
+    /** Skip the measurement phase entirely and rank by model score alone
+     *  (the service's circuit-breaker-open rung): the winner is the best
+     *  verifier-clean hit, reported unmeasured with its predicted cost. */
+    bool skipMeasure = false;
+};
+
 /** Result of tuning one input. */
 struct TuneOutcome
 {
@@ -81,6 +105,14 @@ struct TuneOutcome
     /** True when every top-k candidate came back invalid or faulted and
      *  the tuner degraded to the CSR-row-parallel default schedule. */
     bool fellBack = false;
+    /** True when cancellation truncated the search walk or the top-k
+     *  measurement loop (the winner is valid but saw fewer candidates). */
+    bool truncated = false;
+    /** True when the winner was chosen by model score without measurement
+     *  (TuneControl::skipMeasure, or a deadline that expired before any
+     *  candidate measured validly). bestMeasured is then invalid with
+     *  reason "model-only" and seconds = the predicted cost. */
+    bool modelOnly = false;
 
     /** Total tuning overhead T_tuning of Section 5.6. */
     double
@@ -136,10 +168,16 @@ class WacoTuner
     void attachDataset(const CostDataset& dataset);
 
     /** Co-optimize the format and schedule for a new matrix. */
-    TuneOutcome tune(const SparseMatrix& m);
+    TuneOutcome tune(const SparseMatrix& m) { return tune(m, {}); }
+
+    /** tune() with cancellation/degradation controls (see TuneControl). */
+    TuneOutcome tune(const SparseMatrix& m, const TuneControl& ctl);
 
     /** Co-optimize for a new 3D tensor. */
-    TuneOutcome tune3d(const Sparse3Tensor& t);
+    TuneOutcome tune3d(const Sparse3Tensor& t) { return tune3d(t, {}); }
+
+    /** tune3d() with cancellation/degradation controls. */
+    TuneOutcome tune3d(const Sparse3Tensor& t, const TuneControl& ctl);
 
     /** Schedules indexed by the KNN graph (exposed for benches/tests). */
     const std::vector<SuperSchedule>& graphSchedules() const { return nodes_; }
@@ -159,7 +197,8 @@ class WacoTuner
     TuneOutcome tuneImpl(const PatternInput& pattern,
                          const ProblemShape& shape,
                          const std::function<Measurement(
-                             const SuperSchedule&)>& measure);
+                             const SuperSchedule&)>& measure,
+                         const TuneControl& ctl);
 
     Algorithm alg_;
     RuntimeOracle oracle_;

@@ -29,10 +29,13 @@ FaultyOracle::corrupt(Measurement m) const
     if (cfg_.noiseSigma > 0.0 && m.valid)
         m.seconds *= std::exp(rng_.normal(0.0, cfg_.noiseSigma));
 
-    // 3. Timeout budget: over-budget runs are killed, not reported.
+    // 3. Timeout budget: over-budget runs are killed, not reported. The
+    //    reported time is clamped to the budget — the harness observed
+    //    exactly timeoutSeconds of wall clock before killing the run, so
+    //    aggregate timing stats and latency histograms stay finite.
     if (m.valid && m.seconds > cfg_.timeoutSeconds) {
         ++stats_.timeouts;
-        m.seconds = std::numeric_limits<double>::infinity();
+        m.seconds = cfg_.timeoutSeconds;
         m.valid = false;
         m.invalidReason = "timeout";
     }

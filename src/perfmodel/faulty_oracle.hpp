@@ -13,8 +13,9 @@
  *     invalid Measurement with reason "transient",
  *  2. multiplicative log-normal noise: seconds *= exp(sigma * N(0,1)),
  *  3. timeout: if the (noisy) runtime exceeds timeoutSeconds, the result is
- *     invalidated with reason "timeout" (seconds = +inf), mirroring a
- *     measurement harness killing an over-budget run.
+ *     invalidated with reason "timeout" and its seconds clamped to the
+ *     budget (the wall clock the harness actually burned before killing
+ *     the over-budget run), keeping aggregate timing stats finite.
  */
 #pragma once
 
@@ -33,7 +34,7 @@ struct FaultConfig
     /** Sigma of the multiplicative log-normal runtime noise (0 = exact). */
     double noiseSigma = 0.0;
     /** Measurements whose noisy runtime exceeds this are killed as
-     *  timeouts (+inf seconds, valid=false). */
+     *  timeouts (seconds clamped to the budget, valid=false). */
     double timeoutSeconds = std::numeric_limits<double>::infinity();
     /** Seed of the fault stream (independent of the measured workload). */
     u64 seed = 0x5eed;

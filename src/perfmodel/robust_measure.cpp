@@ -1,7 +1,9 @@
 #include "perfmodel/robust_measure.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <thread>
 
 #include "util/common.hpp"
 #include "util/metrics.hpp"
@@ -11,10 +13,15 @@ namespace waco {
 
 RobustMeasurer::RobustMeasurer(const MeasurementBackend& backend,
                                RetryPolicy policy)
-    : backend_(backend), policy_(policy)
+    : backend_(backend), policy_(policy), jitterRng_(policy.backoffSeed)
 {
     fatalIf(policy_.maxAttempts == 0, "RetryPolicy.maxAttempts must be >= 1");
     fatalIf(policy_.medianOf == 0, "RetryPolicy.medianOf must be >= 1");
+    fatalIf(policy_.backoffBase < 0.0 || policy_.backoffJitter < 0.0 ||
+                policy_.backoffJitter >= 1.0 ||
+                policy_.backoffUnitSeconds < 0.0,
+            "RetryPolicy backoff knobs must satisfy base >= 0, "
+            "0 <= jitter < 1, unitSeconds >= 0");
 }
 
 Measurement
@@ -36,9 +43,26 @@ RobustMeasurer::measureRobust(
             if (try_n > 0) {
                 ++stats_.retries;
                 WACO_COUNT("measure.retries", 1);
-                // Simulated exponential backoff: 1, 2, 4, ... units per
-                // consecutive retry. Counted, never slept.
+                // Exponential backoff with multiplicative jitter: the
+                // scheduled 1, 2, 4, ... units are always accounted; the
+                // jittered amount is slept only when the policy prices a
+                // unit in wall-clock seconds.
                 stats_.backoffUnits += 1ull << (try_n - 1);
+                double scheduled = policy_.backoffBase *
+                                   static_cast<double>(1ull << (try_n - 1));
+                double jitter =
+                    policy_.backoffJitter > 0.0
+                        ? jitterRng_.uniformReal(1.0 - policy_.backoffJitter,
+                                                 1.0 + policy_.backoffJitter)
+                        : 1.0;
+                double accrued = scheduled * jitter;
+                stats_.backoffAccrued += accrued;
+                if (policy_.backoffUnitSeconds > 0.0) {
+                    WACO_COUNT("measure.backoff_sleeps", 1);
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(
+                            accrued * policy_.backoffUnitSeconds));
+                }
             }
             ++stats_.attempts;
             WACO_COUNT("measure.attempts", 1);

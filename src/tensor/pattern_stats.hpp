@@ -73,4 +73,15 @@ struct PatternStats
 /** Compute all statistics in one pass over the matrix (O(nnz) time). */
 PatternStats computePatternStats(const SparseMatrix& m);
 
+/**
+ * Order-stable 64-bit FNV-1a fingerprint of a pattern: exact dimensions
+ * and nonzero count plus the bit patterns of every summary statistic and
+ * block-fill entry. Identical matrices always collide (the service's
+ * cross-request result cache keys on this); distinct patterns practically
+ * never do, because any single differing nonzero shifts several of the
+ * hashed statistics. Deliberately conservative: "similar" matrices get
+ * different fingerprints — a cache hit must be safe, not just likely-good.
+ */
+u64 patternFingerprint(const PatternStats& s);
+
 } // namespace waco

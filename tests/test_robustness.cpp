@@ -140,7 +140,10 @@ TEST(FaultyOracle, TimeoutBudgetKillsSlowSchedules)
     auto r = slow.measure(m, shape, s);
     EXPECT_FALSE(r.valid);
     EXPECT_EQ(r.invalidReason, "timeout");
-    EXPECT_TRUE(std::isinf(r.seconds));
+    // The reported time is clamped to the budget (the wall clock actually
+    // burned before the kill), not +inf: aggregate stats stay finite.
+    EXPECT_TRUE(std::isfinite(r.seconds));
+    EXPECT_DOUBLE_EQ(r.seconds, cfg.timeoutSeconds);
     EXPECT_EQ(slow.stats().timeouts, 1u);
 
     cfg.timeoutSeconds = truth * 2.0; // generous budget: passes through
@@ -240,6 +243,56 @@ TEST(RobustMeasurer, DiscardsAfterExhaustingRetries)
     EXPECT_EQ(st.attempts, 3u);
     EXPECT_EQ(st.retries, 2u);
     EXPECT_EQ(st.backoffUnits, 3u); // 1 + 2
+}
+
+TEST(RobustMeasurer, JitteredBackoffIsSeededAndBounded)
+{
+    RuntimeOracle oracle(MachineConfig::intel24());
+    Rng rng(10);
+    auto m = genUniform(128, 128, 600, rng);
+    auto shape = ProblemShape::forMatrix(Algorithm::SpMV, 128, 128);
+    auto s = defaultSchedule(shape);
+
+    FaultConfig cfg;
+    cfg.failProb = 0.6;
+    cfg.seed = 31;
+    RetryPolicy policy;
+    policy.maxAttempts = 5;
+    policy.medianOf = 2;
+    policy.backoffJitter = 0.5;
+    policy.backoffSeed = 400;
+
+    auto run = [&](RetryPolicy p) {
+        FaultyOracle flaky(oracle, cfg); // fresh fault stream per run
+        RobustMeasurer robust(flaky, p);
+        for (int i = 0; i < 20; ++i)
+            robust.measure(m, shape, s);
+        return robust.stats();
+    };
+
+    auto a = run(policy);
+    auto b = run(policy);
+    ASSERT_GT(a.retries, 0u);
+    // Same jitter seed => bit-identical accrued backoff; different seed
+    // over the identical retry sequence => a different draw.
+    EXPECT_DOUBLE_EQ(a.backoffAccrued, b.backoffAccrued);
+    RetryPolicy other = policy;
+    other.backoffSeed = 401;
+    auto c = run(other);
+    EXPECT_EQ(a.retries, c.retries); // identical fault/retry sequence
+    EXPECT_NE(a.backoffAccrued, c.backoffAccrued);
+    // Jitter is bounded: total accrued within +/-50% of the scheduled sum,
+    // and never exactly on the unjittered schedule with 50% jitter.
+    double scheduled = static_cast<double>(a.backoffUnits);
+    EXPECT_GE(a.backoffAccrued, scheduled * 0.5);
+    EXPECT_LE(a.backoffAccrued, scheduled * 1.5);
+    EXPECT_NE(a.backoffAccrued, scheduled);
+
+    // Jitter off reproduces the exact 1, 2, 4, ... accounting.
+    RetryPolicy plain = policy;
+    plain.backoffJitter = 0.0;
+    auto d = run(plain);
+    EXPECT_DOUBLE_EQ(d.backoffAccrued, static_cast<double>(d.backoffUnits));
 }
 
 /** Validation loss computed exactly the way trainCostModel computes it. */
