@@ -343,6 +343,56 @@ BM_TunerRepeat_New(benchmark::State& state)
     state.SetItemsProcessed(state.iterations() * t.storedValues() * 16);
 }
 
+/**
+ * Unfused SDDMM→SpMM: run SDDMM, materialize the intermediate sparse
+ * product as a fresh CSR hierarchy, then run SpMM over it — the two-kernel
+ * pipeline a user without the fused lowering would write.
+ */
+void
+BM_FusedSddmmSpmm_Old(benchmark::State& state)
+{
+    auto m = benchMatrix();
+    auto t = HierSparseTensor::build(
+        FormatDescriptor::csr(m.rows(), m.cols()), m);
+    Rng rng(13);
+    DenseMatrix b(m.rows(), 16);
+    DenseMatrix c(16, m.cols(), Layout::ColMajor);
+    DenseMatrix f(m.cols(), 16);
+    b.randomize(rng);
+    c.randomize(rng);
+    f.randomize(rng);
+    for (auto _ : state) {
+        SparseMatrix d = sddmmHier(t, b, c);
+        auto dt = HierSparseTensor::build(
+            FormatDescriptor::csr(d.rows(), d.cols()), d);
+        auto e = spmmHier(dt, f);
+        benchmark::DoNotOptimize(e.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * t.storedValues() * (16 + 16));
+}
+
+/** Fused workspace kernel: same computation, one pass over A, no
+ *  materialized intermediate. */
+void
+BM_FusedSddmmSpmm_New(benchmark::State& state)
+{
+    auto m = benchMatrix();
+    auto t = HierSparseTensor::build(
+        FormatDescriptor::csr(m.rows(), m.cols()), m);
+    Rng rng(13);
+    DenseMatrix b(m.rows(), 16);
+    DenseMatrix c(16, m.cols(), Layout::ColMajor);
+    DenseMatrix f(m.cols(), 16);
+    b.randomize(rng);
+    c.randomize(rng);
+    f.randomize(rng);
+    for (auto _ : state) {
+        auto e = fusedSddmmSpmmHier(t, b, c, f);
+        benchmark::DoNotOptimize(e.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * t.storedValues() * (16 + 16));
+}
+
 void
 BM_FormatBuild(benchmark::State& state)
 {
@@ -381,6 +431,8 @@ BENCHMARK(BM_SpmvScheduled_Old)->Arg(4);
 BENCHMARK(BM_SpmvScheduled_New)->Arg(4);
 BENCHMARK(BM_TunerRepeat_Old);
 BENCHMARK(BM_TunerRepeat_New);
+BENCHMARK(BM_FusedSddmmSpmm_Old);
+BENCHMARK(BM_FusedSddmmSpmm_New);
 BENCHMARK(BM_FormatBuild);
 BENCHMARK(BM_MttkrpCsf);
 

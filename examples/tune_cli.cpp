@@ -27,6 +27,8 @@
  * cache with zero new measurements.
  *
  * Usage: example_tune_cli [spmv|spmm|sddmm] [matrix.mtx]
+ *          [--alg NAME] (any matrix algorithm by name, e.g.
+ *                        --alg fused_sddmm_spmm)
  *          [--faults P] [--noise SIGMA] [--timeout SECS]
  *          [--retries N] [--median K] [--checkpoint FILE]
  *          [--trace-out FILE] [--metrics-out FILE]
@@ -60,6 +62,7 @@ usage(const char* argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [spmv|spmm|sddmm] [matrix.mtx]\n"
+                 "          [--alg NAME]  (e.g. --alg fused_sddmm_spmm)\n"
                  "          [--faults P] [--noise SIGMA] [--timeout SECS]\n"
                  "          [--retries N] [--median K] [--checkpoint FILE]\n"
                  "          [--trace-out FILE] [--metrics-out FILE]\n"
@@ -106,7 +109,21 @@ run(int argc, char** argv)
             alg = Algorithm::SpMM;
         else if (!std::strcmp(argv[i], "sddmm"))
             alg = Algorithm::SDDMM;
-        else if (!std::strcmp(argv[i], "--faults")) {
+        else if (!std::strcmp(argv[i], "--alg")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            if (!algorithmFromName(argv[++i], alg)) {
+                std::fprintf(stderr, "unknown algorithm '%s'\n", argv[i]);
+                usage(argv[0]);
+            }
+            if (algorithmInfo(alg).sparseOrder != 2) {
+                std::fprintf(stderr,
+                             "'%s' is not a matrix algorithm; this tool "
+                             "tunes 2D sparse inputs\n",
+                             argv[i]);
+                usage(argv[0]);
+            }
+        } else if (!std::strcmp(argv[i], "--faults")) {
             faults.failProb = num(0.0);
             faulty = true;
         } else if (!std::strcmp(argv[i], "--noise")) {

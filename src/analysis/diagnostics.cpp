@@ -33,10 +33,18 @@ diagSeverity(DiagCode code)
         return Severity::PerfNote; // S2xx
     if (v < 400)
         return Severity::Error; // L0xx
-    // R0xx: only the reduction race is an actual mis-execution; the other
-    // hazards describe annotations the executor provably ignores.
-    return code == DiagCode::R001_ParallelReductionRace ? Severity::Error
-                                                        : Severity::Warning;
+    // R0xx: the reduction race and both workspace races are actual
+    // mis-executions (a runtime honoring the annotation would corrupt the
+    // output or the scratch vector); the other hazards describe
+    // annotations the executor provably ignores.
+    switch (code) {
+      case DiagCode::R001_ParallelReductionRace:
+      case DiagCode::R004_ParallelWorkspaceWrite:
+      case DiagCode::R005_ParallelWorkspaceConsume:
+        return Severity::Error;
+      default:
+        return Severity::Warning;
+    }
 }
 
 std::string

@@ -56,6 +56,7 @@ enum class DiagCode : unsigned short
     S012_DenseLayoutMisaligned = 12, ///< layout flags wrong length.
     S013_CompressedRandomInsert = 13, ///< random insert into a C level.
     S014_AlgorithmMismatch = 14, ///< schedule and shape disagree on alg.
+    S015_WorkspaceScopeOrder = 15, ///< fused: scope loops not outermost.
 
     // --- WACO-S1xx: SuperSchedule warnings -----------------------------
     S101_SplitNotPow2 = 101,     ///< split outside the paper's pow2 space.
@@ -78,11 +79,16 @@ enum class DiagCode : unsigned short
     L008_LocateKindMismatch = 308, ///< binarySearch flag contradicts format.
     L009_VectorLeafMismatch = 309, ///< leaf metadata contradicts the nest.
     L010_LevelSlotMismatch = 310, ///< node/level slot bookkeeping broken.
+    L011_WorkspaceScopeInvalid = 311, ///< workspace scope/extent broken.
+    L012_WorkspaceInitBeforeUse = 312, ///< producer/consumer phase missing.
 
     // --- WACO-R0xx: parallel-hazard analysis ---------------------------
     R001_ParallelReductionRace = 401, ///< parallel loop carries a reduction.
     R002_NestedParallelIgnored = 402, ///< parallel annotation not outermost.
     R003_ParallelChunkZero = 403, ///< parallel loop without a chunk size.
+    R004_ParallelWorkspaceWrite = 404, ///< producer accumulates w in parallel.
+    R005_ParallelWorkspaceConsume = 405, ///< consumer reads shared w across
+                                         ///< threads without a phase barrier.
 };
 
 /** Stable printable code, e.g. "WACO-S009". */

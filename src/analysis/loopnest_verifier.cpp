@@ -1,5 +1,7 @@
 #include "analysis/loopnest_verifier.hpp"
 
+#include <algorithm>
+
 #include "analysis/schedule_verifier.hpp"
 
 namespace waco::analysis {
@@ -12,11 +14,10 @@ str(u64 v)
     return std::to_string(v);
 }
 
-/** Depth of the loop binding @p slot, or -1. */
+/** Depth of the loop binding @p slot in @p loops, or -1. */
 int
-depthOf(const LoopNest& nest, u32 slot)
+depthOf(const std::vector<LoopNode>& loops, u32 slot)
 {
-    const auto& loops = nest.loops();
     for (std::size_t d = 0; d < loops.size(); ++d) {
         if (loops[d].slot == slot)
             return static_cast<int>(d);
@@ -24,13 +25,20 @@ depthOf(const LoopNest& nest, u32 slot)
     return -1;
 }
 
+/**
+ * Slot-binding invariants over one phase walk. @p relevant masks the
+ * index variables this walk must bind: all of them for a
+ * single-expression nest, the phase's indices for a fused one (the
+ * producer never binds consumer-only indices and vice versa).
+ */
 void
-checkBindings(const LoopNest& nest, DiagnosticBag& bag)
+checkBindings(const LoopNest& nest, const std::vector<LoopNode>& loops,
+              const std::array<bool, 4>& relevant, DiagnosticBag& bag)
 {
     const auto& info = algorithmInfo(nest.alg());
     const u32 num_slots = 2 * info.numIndices;
     std::vector<u32> bound(num_slots, 0);
-    for (const LoopNode& n : nest.loops()) {
+    for (const LoopNode& n : loops) {
         if (n.slot >= num_slots) {
             bag.add(DiagCode::L010_LevelSlotMismatch,
                     "loop binds slot " + str(n.slot) + " out of range [0, " +
@@ -45,6 +53,8 @@ checkBindings(const LoopNest& nest, DiagnosticBag& bag)
         }
     }
     for (u32 idx = 0; idx < info.numIndices; ++idx) {
+        if (!relevant[idx])
+            continue;
         // The outer half always executes; the inner half must execute
         // whenever the (extent-clamped) split keeps it non-degenerate.
         if (!bound[outerSlot(idx)]) {
@@ -64,10 +74,10 @@ checkBindings(const LoopNest& nest, DiagnosticBag& bag)
 }
 
 void
-checkLevelResolution(const LoopNest& nest, DiagnosticBag& bag)
+checkLevelResolution(const LoopNest& nest, const std::vector<LoopNode>& loops,
+                     DiagnosticBag& bag)
 {
     const u32 num_levels = nest.numLevels();
-    const auto& loops = nest.loops();
 
     // Walk outermost->innermost recording the order levels resolve in:
     // a Sparse node resolves its own level, then fires its locates.
@@ -153,7 +163,7 @@ checkLevelResolution(const LoopNest& nest, DiagnosticBag& bag)
                         static_cast<int>(slotIndex(loc.slot)),
                         static_cast<int>(loc.level));
             }
-            int bound_depth = depthOf(nest, loc.slot);
+            int bound_depth = depthOf(loops, loc.slot);
             if (bound_depth < 0 || bound_depth > static_cast<int>(d)) {
                 bag.add(DiagCode::L005_LocateSlotUnbound,
                         "locate at depth " + str(d) + " consumes slot " +
@@ -204,11 +214,12 @@ checkLevelResolution(const LoopNest& nest, DiagnosticBag& bag)
 }
 
 void
-checkExtents(const LoopNest& nest, DiagnosticBag& bag)
+checkExtents(const LoopNest& nest, const std::vector<LoopNode>& loops,
+             DiagnosticBag& bag)
 {
     const auto& info = algorithmInfo(nest.alg());
-    for (std::size_t d = 0; d < nest.loops().size(); ++d) {
-        const LoopNode& n = nest.loops()[d];
+    for (std::size_t d = 0; d < loops.size(); ++d) {
+        const LoopNode& n = loops[d];
         u32 idx = slotIndex(n.slot);
         if (idx >= info.numIndices)
             continue; // already an L010 above
@@ -228,9 +239,9 @@ checkExtents(const LoopNest& nest, DiagnosticBag& bag)
 }
 
 void
-checkLeaf(const LoopNest& nest, DiagnosticBag& bag)
+checkLeaf(const LoopNest& nest, const ComputeLeaf& leaf,
+          const std::vector<LoopNode>& loops, DiagnosticBag& bag)
 {
-    const ComputeLeaf& leaf = nest.leaf();
     if (leaf.alg != nest.alg()) {
         bag.add(DiagCode::L009_VectorLeafMismatch,
                 "compute leaf is for " + algorithmName(leaf.alg) +
@@ -245,9 +256,9 @@ checkLeaf(const LoopNest& nest, DiagnosticBag& bag)
                 "vector index " + str(leaf.vectorIndex) + " out of range");
         return;
     }
-    bool ok = !nest.loops().empty();
+    bool ok = !loops.empty();
     if (ok) {
-        const LoopNode& last = nest.loops().back();
+        const LoopNode& last = loops.back();
         ok = last.kind == LoopKind::Dense && last.level < 0 &&
              slotIndex(last.slot) == static_cast<u32>(leaf.vectorIndex) &&
              nest.splitOf(slotIndex(last.slot)) == 1;
@@ -269,11 +280,13 @@ checkLeaf(const LoopNest& nest, DiagnosticBag& bag)
  * real `#pragma omp parallel for`.
  */
 void
-checkParallelHazards(const LoopNest& nest, DiagnosticBag& bag)
+checkParallelHazards(const LoopNest& nest, const std::vector<LoopNode>& loops,
+                     std::size_t depth_offset, DiagnosticBag& bag)
 {
     const auto& info = algorithmInfo(nest.alg());
-    for (std::size_t d = 0; d < nest.loops().size(); ++d) {
-        const LoopNode& n = nest.loops()[d];
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        const LoopNode& n = loops[i];
+        const std::size_t d = depth_offset + i;
         if (!n.parallel)
             continue;
         u32 idx = slotIndex(n.slot);
@@ -305,17 +318,166 @@ checkParallelHazards(const LoopNest& nest, DiagnosticBag& bag)
     }
 }
 
+/**
+ * Workspace pass (fused nests): scope/extent structure (L011),
+ * init-before-use phase completeness (L012), and the cross-phase parallel
+ * hazards (R004/R005). A workspace at scopeDepth is private to each
+ * iteration of loops [0, scopeDepth); parallelizing anything at or below
+ * that depth shares one scratch vector across threads.
+ */
+void
+checkWorkspace(const LoopNest& nest, DiagnosticBag& bag)
+{
+    const auto& info = algorithmInfo(nest.alg());
+    const WorkspaceDecl& ws = nest.workspace();
+
+    if (!info.usesWorkspace) {
+        if (ws.present || !nest.consumerLoops().empty()) {
+            bag.add(DiagCode::L012_WorkspaceInitBeforeUse,
+                    algorithmName(nest.alg()) +
+                        " is a single-expression kernel but the nest "
+                        "declares a workspace / consumer phase");
+        }
+        return;
+    }
+    if (!ws.present) {
+        bag.add(DiagCode::L012_WorkspaceInitBeforeUse,
+                algorithmName(nest.alg()) +
+                    " lowers through a workspace but the nest declares "
+                    "none");
+        return;
+    }
+
+    if (ws.index >= info.numIndices || ws.index != info.workspaceIndex) {
+        bag.add(DiagCode::L011_WorkspaceScopeInvalid,
+                "workspace is indexed by index " + str(ws.index) +
+                    " but " + algorithmName(nest.alg()) +
+                    "'s workspace variable is '" +
+                    info.indexNames[info.workspaceIndex] + "'",
+                static_cast<int>(info.workspaceIndex));
+    } else if (ws.extent != nest.shape().indexExtent[ws.index]) {
+        bag.add(DiagCode::L011_WorkspaceScopeInvalid,
+                "workspace extent " + str(ws.extent) +
+                    " does not cover index '" + info.indexNames[ws.index] +
+                    "' (extent " +
+                    str(nest.shape().indexExtent[ws.index]) + ")",
+                static_cast<int>(ws.index));
+    }
+
+    const auto& loops = nest.loops();
+    if (ws.scopeDepth > loops.size()) {
+        bag.add(DiagCode::L011_WorkspaceScopeInvalid,
+                "workspace scope depth " + str(ws.scopeDepth) +
+                    " exceeds the " + str(loops.size()) + "-loop nest");
+    }
+    const std::size_t prefix =
+        std::min<std::size_t>(ws.scopeDepth, loops.size());
+
+    // Init-before-use: a scope iteration must zero-init, accumulate, then
+    // consume. Either phase missing breaks that protocol.
+    if (prefix >= loops.size()) {
+        bag.add(DiagCode::L012_WorkspaceInitBeforeUse,
+                "producer phase is empty: the workspace is consumed but "
+                "never accumulated into");
+    }
+    if (nest.consumerLoops().empty()) {
+        bag.add(DiagCode::L012_WorkspaceInitBeforeUse,
+                "consumer phase is empty: the workspace is accumulated "
+                "but never consumed");
+    }
+
+    // Scope structure: the prefix holds exactly the scope-index loops.
+    const auto scope_loop = [&](const LoopNode& n) {
+        u32 idx = slotIndex(n.slot);
+        return idx < info.numIndices && info.scopeIndex[idx];
+    };
+    for (std::size_t d = 0; d < prefix; ++d) {
+        if (!scope_loop(loops[d])) {
+            bag.add(DiagCode::L011_WorkspaceScopeInvalid,
+                    "loop at depth " + str(d) +
+                        " sits inside the workspace scope but binds "
+                        "non-scope slot " + str(loops[d].slot),
+                    static_cast<int>(slotIndex(loops[d].slot)));
+        }
+    }
+    for (std::size_t d = prefix; d < loops.size(); ++d) {
+        if (scope_loop(loops[d])) {
+            bag.add(DiagCode::L011_WorkspaceScopeInvalid,
+                    "scope loop over slot " + str(loops[d].slot) +
+                        " runs below the workspace scope; its iterations "
+                        "share one scratch vector",
+                    static_cast<int>(slotIndex(loops[d].slot)));
+        }
+    }
+    for (const LoopNode& n : nest.consumerLoops()) {
+        if (scope_loop(n)) {
+            bag.add(DiagCode::L011_WorkspaceScopeInvalid,
+                    "consumer phase re-binds scope slot " + str(n.slot),
+                    static_cast<int>(slotIndex(n.slot)));
+        }
+    }
+
+    // Cross-phase parallel hazards. Below the declared scope the workspace
+    // is shared: a parallel producer loop races its own accumulations
+    // (R004); a parallel loop that dominates both phases (a scope-index
+    // loop at or below the declared scope) hands each thread the same
+    // scratch vector, so one chunk's producer writes race another's
+    // consumer reads (R005).
+    for (std::size_t d = prefix; d < loops.size(); ++d) {
+        const LoopNode& n = loops[d];
+        if (!n.parallel)
+            continue;
+        if (scope_loop(n)) {
+            bag.add(DiagCode::R005_ParallelWorkspaceConsume,
+                    "parallel loop at depth " + str(d) +
+                        " runs both phases below the workspace scope: "
+                        "producer writes race consumer reads of the shared "
+                        "scratch vector",
+                    static_cast<int>(slotIndex(n.slot)));
+        } else {
+            bag.add(DiagCode::R004_ParallelWorkspaceWrite,
+                    "parallel producer loop at depth " + str(d) +
+                        " accumulates into the scope-shared workspace "
+                        "concurrently",
+                    static_cast<int>(slotIndex(n.slot)));
+        }
+    }
+}
+
 } // namespace
 
 DiagnosticBag
 verifyLoopNest(const LoopNest& nest)
 {
+    const auto& info = algorithmInfo(nest.alg());
+    const bool fused = info.usesWorkspace && nest.fused();
+    const std::array<bool, 4> all_indices = {true, true, true, true};
+
     DiagnosticBag bag;
-    checkBindings(nest, bag);
-    checkLevelResolution(nest, bag);
-    checkExtents(nest, bag);
-    checkLeaf(nest, bag);
-    checkParallelHazards(nest, bag);
+    checkBindings(nest, nest.loops(),
+                  fused ? info.producerIndex : all_indices, bag);
+    checkLevelResolution(nest, nest.loops(), bag);
+    checkExtents(nest, nest.loops(), bag);
+    checkLeaf(nest, nest.leaf(), nest.loops(), bag);
+    checkParallelHazards(nest, nest.loops(), 0, bag);
+    checkWorkspace(nest, bag);
+    if (fused) {
+        // The consumer phase re-runs the binding/resolution machinery over
+        // its full walk: the shared scope prefix + the consumer loops.
+        const std::size_t prefix = std::min<std::size_t>(
+            nest.workspace().scopeDepth, nest.loops().size());
+        std::vector<LoopNode> consumer_walk(nest.loops().begin(),
+                                            nest.loops().begin() +
+                                                static_cast<long>(prefix));
+        consumer_walk.insert(consumer_walk.end(),
+                             nest.consumerLoops().begin(),
+                             nest.consumerLoops().end());
+        checkBindings(nest, consumer_walk, info.consumerIndex, bag);
+        checkLevelResolution(nest, consumer_walk, bag);
+        checkExtents(nest, nest.consumerLoops(), bag);
+        checkLeaf(nest, nest.consumerLeaf(), consumer_walk, bag);
+        checkParallelHazards(nest, nest.consumerLoops(), prefix, bag);
+    }
     return bag;
 }
 

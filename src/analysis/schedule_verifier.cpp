@@ -124,6 +124,34 @@ checkStructure(const SuperSchedule& s, const ProblemShape* shape,
     }
 }
 
+/**
+ * Workspace-scope order (S015): a workspace kernel's scratch tensor is
+ * private per iteration of the scope loops, so every active scope slot
+ * must precede every other active slot — a phase loop outside the scope
+ * would mix workspace contents across scope iterations. Runs only on
+ * structurally valid schedules (needs a well-formed loop order).
+ */
+void
+checkWorkspaceOrder(const SuperSchedule& s, DiagnosticBag& bag)
+{
+    const auto& info = algorithmInfo(s.alg);
+    if (!info.usesWorkspace)
+        return;
+    bool phase_seen = false;
+    for (u32 slot : activeLoopOrder(s)) {
+        u32 idx = slotIndex(slot);
+        if (!info.scopeIndex[idx]) {
+            phase_seen = true;
+        } else if (phase_seen) {
+            bag.add(DiagCode::S015_WorkspaceScopeOrder,
+                    "scope loop '" + info.indexNames[idx] +
+                        "' runs inside a phase loop; workspace scope loops "
+                        "must be outermost",
+                    static_cast<int>(idx));
+        }
+    }
+}
+
 /** Warnings (S1xx) — only called on structurally valid schedules. */
 void
 checkWarnings(const SuperSchedule& s, const ProblemShape* shape,
@@ -251,6 +279,9 @@ verifyImpl(const SuperSchedule& s, const ProblemShape* shape)
     checkStructure(s, shape, bag);
     if (bag.hasErrors())
         return bag; // malformed arrays make the deeper walks unsafe
+    checkWorkspaceOrder(s, bag);
+    if (bag.hasErrors())
+        return bag; // fused lowering depends on the scope prefix
     checkAccessCapabilities(s, requiredAccess(s.alg), bag);
     checkWarnings(s, shape, bag);
     checkPerfNotes(s, bag);
@@ -277,9 +308,11 @@ requiredAccess(Algorithm alg)
     (void)alg;
     // See the header: A is read-only for SpMV/SpMM/MTTKRP and SDDMM's
     // output writes are aligned with A's pattern, so no current kernel
-    // random-inserts. Locate needs are schedule-dependent (discordance),
-    // not algorithm-dependent, and both level formats support locate
-    // (offset for U, binary search for C).
+    // random-inserts. FusedSDDMMSpMM reads A's pattern twice (producer and
+    // consumer phase) but its workspace and output are dense, so it adds
+    // no format capability either. Locate needs are schedule-dependent
+    // (discordance), not algorithm-dependent, and both level formats
+    // support locate (offset for U, binary search for C).
     return {};
 }
 

@@ -21,6 +21,8 @@ computeStatement(Algorithm alg)
         return "D_vals[pA] += A_vals[pA] * B[i * K + k] * C[k * J + j];";
       case Algorithm::MTTKRP:
         return "D[i * J + j] += A_vals[pA] * B[k * J + j] * C[l * J + j];";
+      case Algorithm::FusedSDDMMSpMM:
+        break; // fused nests print two phase statements, not one
     }
     panic("unknown algorithm");
 }
@@ -91,9 +93,11 @@ emitC(const LoopNest& nest, u32 numThreads, const std::string& scheduleKey)
     }
 
     std::string indent;
-    for (u32 d = 0; d < nest.loops().size(); ++d) {
-        const LoopNode& n = nest.loops()[d];
-        std::string var = nest.varName(d);
+
+    // One loop header (+ position bookkeeping and locate drains), shared by
+    // the single-expression path and both phases of a fused nest.
+    auto emit_loop = [&](const LoopNode& n) {
+        std::string var = nest.slotVarName(n.slot);
 
         if (n.parallel) {
             os << indent << "#pragma omp parallel for schedule(dynamic, "
@@ -148,23 +152,79 @@ emitC(const LoopNest& nest, u32 numThreads, const std::string& scheduleKey)
             }
         }
         indent += "    ";
+    };
+
+    auto close_loops = [&](std::size_t count) {
+        while (count-- > 0) {
+            indent.resize(indent.size() - 4);
+            os << indent << "}\n";
+        }
+    };
+
+    // Recombine split coordinates for the indices selected by @p wanted.
+    auto emit_splits = [&](const std::array<bool, 4>& wanted) {
+        for (u32 idx = 0; idx < info.numIndices; ++idx) {
+            u32 split = nest.splitOf(idx);
+            if (wanted[idx] && split > 1) {
+                os << indent << "int " << info.indexNames[idx] << " = "
+                   << info.indexNames[idx] << "1 * " << split << " + "
+                   << info.indexNames[idx] << "0;\n";
+            }
+        }
+    };
+
+    auto emit_pa = [&]() {
+        os << indent << "int pA = " << posVar(nest.numLevels() - 1)
+           << ";  // position of the current A value\n";
+    };
+
+    if (!nest.fused()) {
+        for (const LoopNode& n : nest.loops())
+            emit_loop(n);
+        emit_splits({true, true, true, true});
+        emit_pa();
+        os << indent << computeStatement(nest.alg()) << "\n";
+        close_loops(nest.loops().size());
+        return os.str();
     }
 
+    // Fused workspace nest: scope prefix, then `init; producer; consumer`
+    // as three statements/blocks inside each scope iteration.
+    const WorkspaceDecl& ws = nest.workspace();
+    const std::size_t scope = ws.scopeDepth;
+    std::array<bool, 4> producer_only = info.producerIndex;
+    std::array<bool, 4> consumer_only = info.consumerIndex;
     for (u32 idx = 0; idx < info.numIndices; ++idx) {
-        u32 split = nest.splitOf(idx);
-        if (split > 1) {
-            os << indent << "int " << info.indexNames[idx] << " = "
-               << info.indexNames[idx] << "1 * " << split << " + "
-               << info.indexNames[idx] << "0;\n";
-        }
+        producer_only[idx] = producer_only[idx] && !info.scopeIndex[idx];
+        consumer_only[idx] = consumer_only[idx] && !info.scopeIndex[idx];
     }
-    os << indent << "int pA = " << posVar(nest.numLevels() - 1)
-       << ";  // position of the current A value\n";
-    os << indent << computeStatement(nest.alg()) << "\n";
-    for (std::size_t d = nest.loops().size(); d-- > 0;) {
-        indent.resize(indent.size() - 4);
-        os << indent << "}\n";
-    }
+
+    for (std::size_t d = 0; d < scope; ++d)
+        emit_loop(nest.loops()[d]);
+    emit_splits(info.scopeIndex);
+
+    os << indent << "// workspace over '" << info.indexNames[ws.index]
+       << "': init phase\n";
+    os << indent << "float w[" << ws.extent << "];\n";
+    os << indent << "for (int _w = 0; _w < " << ws.extent
+       << "; _w++) w[_w] = 0.0f;\n";
+
+    os << indent << "// producer phase: accumulate the dense inner product\n";
+    for (std::size_t d = scope; d < nest.loops().size(); ++d)
+        emit_loop(nest.loops()[d]);
+    emit_splits(producer_only);
+    os << indent << "w[j] += B[i * K + k] * C[k * J + j];\n";
+    close_loops(nest.loops().size() - scope);
+
+    os << indent << "// consumer phase: scale by A and expand along m\n";
+    for (const LoopNode& n : nest.consumerLoops())
+        emit_loop(n);
+    emit_splits(consumer_only);
+    emit_pa();
+    os << indent << "E[i * M + m] += A_vals[pA] * w[j] * F[j * M + m];\n";
+    close_loops(nest.consumerLoops().size());
+
+    close_loops(scope);
     return os.str();
 }
 

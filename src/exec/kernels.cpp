@@ -69,6 +69,28 @@ mttkrpHier(const HierSparseTensor& a, const DenseMatrix& b,
         .mat;
 }
 
+DenseMatrix
+fusedSddmmSpmmHier(const HierSparseTensor& a, const DenseMatrix& b,
+                   const DenseMatrix& c, const DenseMatrix& f)
+{
+    fatalIf(a.descriptor().order() != 2,
+            "fusedSddmmSpmmHier needs a 2D tensor");
+    // K (= b.cols()) and M (= f.cols()) may differ, so the shape is patched
+    // rather than lowered from a single dense-extent default.
+    SuperSchedule s =
+        storageOrderSchedule(Algorithm::FusedSDDMMSpMM, a.descriptor());
+    ProblemShape shape =
+        shapeForFormat(Algorithm::FusedSDDMMSpMM, a.descriptor(),
+                       static_cast<u32>(b.cols()));
+    shape.indexExtent[3] = static_cast<u32>(f.cols());
+    LoopNestArgs args;
+    args.a = &a;
+    args.matB = &b;
+    args.matC = &c;
+    args.matF = &f;
+    return executeLoopNest(lower(s, shape), args).mat;
+}
+
 namespace {
 
 /**
@@ -255,6 +277,21 @@ measureHierKernel(Algorithm alg, const HierSparseTensor& a, u32 dense_extent,
             auto d = mttkrpHier(a, b, c);
             times.push_back(t.seconds());
             (void)d;
+        }
+        break;
+      }
+      case Algorithm::FusedSDDMMSpMM: {
+        DenseMatrix b(dims[0], extent);
+        DenseMatrix c(extent, dims[1], Layout::ColMajor);
+        DenseMatrix f(dims[1], extent);
+        b.randomize(rng);
+        c.randomize(rng);
+        f.randomize(rng);
+        for (u32 r = 0; r < rounds; ++r) {
+            Timer t;
+            auto e = fusedSddmmSpmmHier(a, b, c, f);
+            times.push_back(t.seconds());
+            (void)e;
         }
         break;
       }

@@ -3,7 +3,7 @@
  * Real execution engine.
  *
  * Two tiers:
- *  - Format-generic kernels over a HierSparseTensor: run any of the four
+ *  - Format-generic kernels over a HierSparseTensor: run any of the five
  *    algorithms on a tensor stored in *any* format the SuperSchedule can
  *    describe (dense-block padding included, exactly like TACO-generated
  *    code). These are thin wrappers that lower the tensor's storage order
@@ -36,6 +36,12 @@ SparseMatrix sddmmHier(const HierSparseTensor& a, const DenseMatrix& b,
 /** D[i,j] = A[i,k,l] * B[k,j] * C[l,j] with A in an arbitrary hierarchy format. */
 DenseMatrix mttkrpHier(const HierSparseTensor& a, const DenseMatrix& b,
                        const DenseMatrix& c);
+
+/** E[i,m] = A[i,j] * (B[i,k] * C[k,j]) * F[j,m] with A in an arbitrary
+ *  hierarchy format, fused through a dense row workspace (no intermediate
+ *  sparse product is materialized). */
+DenseMatrix fusedSddmmSpmmHier(const HierSparseTensor& a, const DenseMatrix& b,
+                               const DenseMatrix& c, const DenseMatrix& f);
 
 /**
  * OpenMP-style dynamic scheduling parameters for the fast kernels:

@@ -355,6 +355,196 @@ struct MTTKRPLeaf // D[i,j] = A[i,k,l] * B[k,j] * C[l,j]
     }
 };
 
+struct FusedProducerLeaf // w[j] += B[i,k] * C[k,j]  (A applied in consumer)
+{
+    const float* bd;
+    const float* cd;
+    Strides bs;
+    Strides cs;
+    u64 K;
+    float* ws = nullptr; ///< Chunk-private workspace, set by the driver.
+
+    void
+    scalar(const Ctx& cx) const
+    {
+        u64 k = cx.coord[2];
+        ws[cx.coord[1]] += bd[cx.coord[0] * bs.row + k * bs.col] *
+                           cd[k * cs.row + cx.coord[1] * cs.col];
+    }
+    void
+    tail(const Ctx& cx) const
+    {
+        const float* bp = bd + cx.coord[0] * bs.row;
+        const float* cp = cd + cx.coord[1] * cs.col;
+        float dot = 0.0f;
+        if (bs.col == 1 && cs.row == 1) {
+            for (u64 k = 0; k < K; ++k)
+                dot += bp[k] * cp[k];
+        } else {
+            for (u64 k = 0; k < K; ++k)
+                dot += bp[k * bs.col] * cp[k * cs.row];
+        }
+        ws[cx.coord[1]] += dot;
+    }
+};
+
+struct FusedConsumerLeaf // E[i,m] += A[i,j] * w[j] * F[j,m]
+{
+    const float* av;
+    const float* fd;
+    float* ed;
+    Strides fs;
+    u64 erow; ///< Output is row-major: stride M.
+    u64 M;
+    const float* ws = nullptr; ///< Chunk-private workspace, set by the driver.
+
+    void
+    scalar(const Ctx& cx) const
+    {
+        u64 m = cx.coord[3];
+        ed[cx.coord[0] * erow + m] +=
+            av[valuePos(cx)] * ws[cx.coord[1]] *
+            fd[cx.coord[1] * fs.row + m * fs.col];
+    }
+    void
+    tail(const Ctx& cx) const
+    {
+        // Padding entries carry av == 0, so they contribute nothing.
+        float v = av[valuePos(cx)] * ws[cx.coord[1]];
+        const float* fp = fd + cx.coord[1] * fs.row;
+        float* ep = ed + cx.coord[0] * erow;
+        if (fs.col == 1) {
+            for (u64 m = 0; m < M; ++m)
+                ep[m] += v * fp[m];
+        } else {
+            for (u64 m = 0; m < M; ++m)
+                ep[m] += v * fp[m * fs.col];
+        }
+    }
+};
+
+/**
+ * The compute "leaf" of the scope prefix of a fused nest. Runs once per
+ * scope iteration (e.g. per row i): zero-initializes the workspace, then
+ * executes the producer subtree and the consumer subtree at the fission
+ * depth — the init/accumulate/consume protocol of the workspace temporary.
+ * Both phase views share the prefix's bound coordinates and resolved
+ * storage positions through the copied Ctx.
+ */
+struct ScopeLeaf
+{
+    const LoopNode* prodLoops;
+    u32 prodNum;
+    u32 prodTail;
+    const LoopNode* consLoops;
+    u32 consNum;
+    u32 consTail;
+    u32 scope;
+    FusedProducerLeaf prod;
+    FusedConsumerLeaf cons;
+    float* ws = nullptr;
+    u32 wsExtent = 0;
+
+    void
+    scalar(const Ctx& cx) const
+    {
+        std::fill(ws, ws + wsExtent, 0.0f);
+        Ctx px = cx;
+        px.loops = prodLoops;
+        px.numLoops = prodNum;
+        px.tailDepth = prodTail;
+        auto pd = nodeDomain(px, prodLoops[scope]);
+        execNode(px, scope, pd.first, pd.second, prod);
+        Ctx qx = cx;
+        qx.loops = consLoops;
+        qx.numLoops = consNum;
+        qx.tailDepth = consTail;
+        auto qd = nodeDomain(qx, consLoops[scope]);
+        execNode(qx, scope, qd.first, qd.second, cons);
+    }
+    void
+    tail(const Ctx&) const
+    {} // the scope prefix never ends in a fused dense tail
+};
+
+/**
+ * Execute a fused workspace nest: run the scope prefix as its own nest
+ * whose leaf is the producer+consumer fission point. The prefix always
+ * binds the (non-reducing) scope index, so it chunks exactly like runNest
+ * — and each chunk gets a private workspace vector, keeping parallel
+ * execution race-free and bitwise identical to serial execution.
+ */
+void
+runFusedNest(const LoopNest& nest, const HierSparseTensor& a,
+             const FusedProducerLeaf& pleaf, const FusedConsumerLeaf& cleaf,
+             const ParallelConfig& par)
+{
+    const auto& info = algorithmInfo(nest.alg());
+    const WorkspaceDecl& ws = nest.workspace();
+    const u32 scope = ws.scopeDepth;
+    panicIf(!ws.present || scope == 0 || scope >= nest.loops().size() ||
+                nest.consumerLoops().empty(),
+            "runFusedNest: malformed workspace scope");
+
+    // Materialize the consumer walk: shared prefix + consumer-phase loops.
+    std::vector<LoopNode> cons_walk(nest.loops().begin(),
+                                    nest.loops().begin() + scope);
+    cons_walk.insert(cons_walk.end(), nest.consumerLoops().begin(),
+                     nest.consumerLoops().end());
+
+    Ctx proto;
+    proto.loops = nest.loops().data();
+    proto.levels = a.levels().data();
+    proto.numLoops = scope; // the prefix is the nest; ScopeLeaf is its leaf
+    proto.tailDepth = scope;
+    proto.lastLevel = nest.numLevels() - 1;
+    proto.numIndices = info.numIndices;
+    for (u32 idx = 0; idx < info.numIndices; ++idx) {
+        proto.split[idx] = nest.splitOf(idx);
+        proto.bound[idx] = nest.shape().indexExtent[idx];
+    }
+
+    ScopeLeaf proto_leaf;
+    proto_leaf.prodLoops = nest.loops().data();
+    proto_leaf.prodNum = static_cast<u32>(nest.loops().size());
+    proto_leaf.prodTail = nest.leaf().vectorIndex >= 0 ? proto_leaf.prodNum - 1
+                                                       : proto_leaf.prodNum;
+    proto_leaf.consLoops = cons_walk.data();
+    proto_leaf.consNum = static_cast<u32>(cons_walk.size());
+    proto_leaf.consTail = nest.consumerLeaf().vectorIndex >= 0
+                              ? proto_leaf.consNum - 1
+                              : proto_leaf.consNum;
+    proto_leaf.scope = scope;
+    proto_leaf.prod = pleaf;
+    proto_leaf.cons = cleaf;
+    proto_leaf.wsExtent = ws.extent;
+
+    const LoopNode& top = nest.loops().front();
+    auto dom = nodeDomain(proto, top);
+    if (dom.second <= dom.first)
+        return;
+    auto run_range = [&](u64 b, u64 e) {
+        std::vector<float> scratch(ws.extent, 0.0f);
+        ScopeLeaf leaf = proto_leaf;
+        leaf.ws = scratch.data();
+        leaf.prod.ws = scratch.data();
+        leaf.cons.ws = scratch.data();
+        Ctx cx = proto;
+        execNode(cx, 0, b, e, leaf);
+    };
+    u32 threads = std::max<u32>(1, par.threads);
+    if (threads == 1) {
+        run_range(dom.first, dom.second);
+        return;
+    }
+    u64 chunk = std::max<u32>(1, par.chunk);
+    globalPool().ensureWorkers(
+        std::min(threads, ThreadPool::kMaxWorkers + 1) - 1);
+    globalPool().parallelFor(
+        dom.second - dom.first, chunk, threads,
+        [&](u64 b, u64 e) { run_range(dom.first + b, dom.first + e); });
+}
+
 /** The tensor must be the physical realization of the nest's format half. */
 void
 checkTensorMatchesNest(const LoopNest& nest, const HierSparseTensor& a)
@@ -468,6 +658,31 @@ executeLoopNest(const LoopNest& nest, const LoopNestArgs& args,
                         r.mat.cols(),
                         ext[3]};
         runNest(nest, a, leaf, par);
+        break;
+      }
+      case Algorithm::FusedSDDMMSpMM: {
+        // E[i,m] = Σ_j A[i,j] · (Σ_k B[i,k]·C[k,j]) · F[j,m] via w[j].
+        fatalIf(args.matB == nullptr || args.matC == nullptr ||
+                    args.matF == nullptr || args.matB->rows() != ext[0] ||
+                    args.matB->cols() != ext[2] ||
+                    args.matC->rows() != ext[2] ||
+                    args.matC->cols() != ext[1] ||
+                    args.matF->rows() != ext[1] ||
+                    args.matF->cols() != ext[3],
+                "FusedSDDMMSpMM operand shape mismatch");
+        r.mat = DenseMatrix(ext[0], ext[3], Layout::RowMajor, 0.0f);
+        FusedProducerLeaf pleaf{args.matB->data().data(),
+                                args.matC->data().data(),
+                                stridesOf(*args.matB),
+                                stridesOf(*args.matC),
+                                ext[2]};
+        FusedConsumerLeaf cleaf{av,
+                                args.matF->data().data(),
+                                r.mat.data().data(),
+                                stridesOf(*args.matF),
+                                r.mat.cols(),
+                                ext[3]};
+        runFusedNest(nest, a, pleaf, cleaf, par);
         break;
       }
     }

@@ -1,11 +1,11 @@
 /**
  * @file
  * The single generic executor: interprets a lowered LoopNest against a
- * HierSparseTensor and dense operands. All four algorithms (SpMV, SpMM,
- * SDDMM, MTTKRP) dispatch through executeLoopNest — there are no per-kernel
- * hand-written traversals anymore; the `*Hier` / `*Scheduled` entry points
- * in kernels.hpp / scheduled.hpp are thin wrappers that lower the tensor's
- * storage order and call this.
+ * HierSparseTensor and dense operands. All five algorithms (SpMV, SpMM,
+ * SDDMM, MTTKRP, FusedSDDMMSpMM) dispatch through executeLoopNest — there
+ * are no per-kernel hand-written traversals anymore; the `*Hier` /
+ * `*Scheduled` entry points in kernels.hpp / scheduled.hpp are thin
+ * wrappers that lower the tensor's storage order and call this.
  *
  * The interpreter walks the nest's typed nodes: Dense nodes iterate full
  * coordinate ranges, Sparse nodes traverse A's pos/crd (or padded U)
@@ -22,6 +22,13 @@
  * (disjoint rows/columns, or disjoint A value positions for SDDMM).
  * Reduction-major nests run serially, which is also what a legal TACO
  * schedule would be forced to do.
+ *
+ * Fused workspace nests run through a scope driver: the shared scope
+ * prefix executes once, and at the fission point each scope iteration
+ * zero-initializes a dense workspace, runs the producer phase (w[j] +=
+ * B*C), then the consumer phase (E += A*w*F). Each parallel chunk owns a
+ * private workspace vector, so chunks of the (non-reducing) scope index
+ * never share scratch state.
  */
 #pragma once
 
@@ -36,8 +43,9 @@ struct LoopNestArgs
 {
     const HierSparseTensor* a = nullptr;
     const DenseVector* vecB = nullptr; ///< SpMV B.
-    const DenseMatrix* matB = nullptr; ///< SpMM / SDDMM / MTTKRP B.
-    const DenseMatrix* matC = nullptr; ///< SDDMM / MTTKRP C.
+    const DenseMatrix* matB = nullptr; ///< SpMM / SDDMM / MTTKRP / fused B.
+    const DenseMatrix* matC = nullptr; ///< SDDMM / MTTKRP / fused C.
+    const DenseMatrix* matF = nullptr; ///< FusedSDDMMSpMM F.
 };
 
 /** Result of one executeLoopNest call; the algorithm determines which
@@ -45,7 +53,7 @@ struct LoopNestArgs
 struct LoopNestResult
 {
     DenseVector vec;     ///< SpMV output C.
-    DenseMatrix mat;     ///< SpMM output C / MTTKRP output D.
+    DenseMatrix mat;     ///< SpMM output C / MTTKRP output D / fused E.
     SparseMatrix sparse; ///< SDDMM output D (A's sparsity pattern).
 };
 

@@ -70,6 +70,27 @@ mttkrpReference(const Sparse3Tensor& a, const DenseMatrix& b,
     return d;
 }
 
+DenseMatrix
+fusedSddmmSpmmReference(const SparseMatrix& a, const DenseMatrix& b,
+                        const DenseMatrix& c, const DenseMatrix& f)
+{
+    fatalIf(b.rows() != a.rows() || c.cols() != a.cols() ||
+                b.cols() != c.rows() || f.rows() != a.cols(),
+            "FusedSDDMMSpMM operand shape mismatch");
+    DenseMatrix e(a.rows(), f.cols(), Layout::RowMajor, 0.0f);
+    for (u64 n = 0; n < a.nnz(); ++n) {
+        u32 i = a.rowIndices()[n];
+        u32 j = a.colIndices()[n];
+        float dot = 0.0f;
+        for (u64 k = 0; k < b.cols(); ++k)
+            dot += b.at(i, k) * c.at(k, j);
+        float v = a.values()[n] * dot;
+        for (u64 m = 0; m < f.cols(); ++m)
+            e.at(i, m) += v * f.at(j, m);
+    }
+    return e;
+}
+
 double
 maxAbsDiff(const DenseMatrix& x, const DenseMatrix& y)
 {

@@ -1,6 +1,6 @@
 /**
  * @file
- * Straightforward reference implementations of the four kernels, computed
+ * Straightforward reference implementations of the five kernels, computed
  * directly from canonical COO. These are the correctness oracles that every
  * format/schedule execution path is tested against.
  */
@@ -24,6 +24,13 @@ SparseMatrix sddmmReference(const SparseMatrix& a, const DenseMatrix& b,
 /** D[i,j] = sum_{k,l} A[i,k,l] * B[k,j] * C[l,j]. */
 DenseMatrix mttkrpReference(const Sparse3Tensor& a, const DenseMatrix& b,
                             const DenseMatrix& c);
+
+/** E[i,m] = sum_j A[i,j] * (sum_k B[i,k] * C[k,j]) * F[j,m] — SDDMM fused
+ *  into SpMM without materializing the intermediate sparse product. */
+DenseMatrix fusedSddmmSpmmReference(const SparseMatrix& a,
+                                    const DenseMatrix& b,
+                                    const DenseMatrix& c,
+                                    const DenseMatrix& f);
 
 /** Max absolute elementwise difference between two dense matrices. */
 double maxAbsDiff(const DenseMatrix& x, const DenseMatrix& y);

@@ -8,6 +8,11 @@ bool
 parallelizableTopLevel(Algorithm alg, const HierSparseTensor& a)
 {
     const auto& info = algorithmInfo(alg);
+    // Workspace kernels always lead with their scope index (S015), whatever
+    // the storage level order — chunks own disjoint output rows and private
+    // workspaces.
+    if (info.usesWorkspace)
+        return true;
     u32 top_dim = a.descriptor().levels().front().dim;
     u32 idx = info.indexOfSparseDim(top_dim);
     return !info.isReduction[idx];
@@ -70,6 +75,27 @@ mttkrpScheduled(const HierSparseTensor& a, const DenseMatrix& b,
                                              static_cast<u32>(b.cols())),
                            args, par)
         .mat;
+}
+
+DenseMatrix
+fusedSddmmSpmmScheduled(const HierSparseTensor& a, const DenseMatrix& b,
+                        const DenseMatrix& c, const DenseMatrix& f,
+                        const ParallelConfig& par)
+{
+    fatalIf(a.descriptor().order() != 2,
+            "fusedSddmmSpmmScheduled needs a 2D tensor");
+    SuperSchedule s =
+        storageOrderSchedule(Algorithm::FusedSDDMMSpMM, a.descriptor());
+    ProblemShape shape =
+        shapeForFormat(Algorithm::FusedSDDMMSpMM, a.descriptor(),
+                       static_cast<u32>(b.cols()));
+    shape.indexExtent[3] = static_cast<u32>(f.cols());
+    LoopNestArgs args;
+    args.a = &a;
+    args.matB = &b;
+    args.matC = &c;
+    args.matF = &f;
+    return executeLoopNest(lower(s, shape), args, par).mat;
 }
 
 } // namespace waco

@@ -1,7 +1,7 @@
 /**
  * @file
  * Scheduled (multi-threaded) execution of the format-generic kernels: the
- * real-machine counterpart of the oracle's OpenMP-dynamic model. All four
+ * real-machine counterpart of the oracle's OpenMP-dynamic model. All five
  * entry points lower the tensor's storage order to the shared loop-nest IR
  * and run the generic interpreter (exec/loopnest_exec.hpp), which chunks
  * the outermost loop over the persistent thread pool exactly like
@@ -41,5 +41,13 @@ SparseMatrix sddmmScheduled(const HierSparseTensor& a, const DenseMatrix& b,
 /** MTTKRP with dynamic top-level chunking. */
 DenseMatrix mttkrpScheduled(const HierSparseTensor& a, const DenseMatrix& b,
                             const DenseMatrix& c, const ParallelConfig& par);
+
+/** Fused SDDMM→SpMM with dynamic chunking of the scope (row) loop; each
+ *  chunk owns a private dense workspace. */
+DenseMatrix fusedSddmmSpmmScheduled(const HierSparseTensor& a,
+                                    const DenseMatrix& b,
+                                    const DenseMatrix& c,
+                                    const DenseMatrix& f,
+                                    const ParallelConfig& par);
 
 } // namespace waco

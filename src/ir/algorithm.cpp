@@ -1,5 +1,7 @@
 #include "ir/algorithm.hpp"
 
+#include <cctype>
+
 namespace waco {
 
 std::string
@@ -10,6 +12,7 @@ algorithmName(Algorithm alg)
       case Algorithm::SpMM: return "SpMM";
       case Algorithm::SDDMM: return "SDDMM";
       case Algorithm::MTTKRP: return "MTTKRP";
+      case Algorithm::FusedSDDMMSpMM: return "FusedSDDMMSpMM";
     }
     panic("unknown algorithm");
 }
@@ -18,8 +21,32 @@ const std::vector<Algorithm>&
 allAlgorithms()
 {
     static const std::vector<Algorithm> all = {
-        Algorithm::SpMV, Algorithm::SpMM, Algorithm::SDDMM, Algorithm::MTTKRP};
+        Algorithm::SpMV, Algorithm::SpMM, Algorithm::SDDMM, Algorithm::MTTKRP,
+        Algorithm::FusedSDDMMSpMM};
     return all;
+}
+
+bool
+algorithmFromName(const std::string& name, Algorithm& out)
+{
+    auto fold = [](const std::string& s) {
+        std::string f;
+        for (char c : s) {
+            if (c == '_')
+                continue;
+            f.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+        }
+        return f;
+    };
+    const std::string want = fold(name);
+    for (Algorithm alg : allAlgorithms()) {
+        if (fold(algorithmName(alg)) == want) {
+            out = alg;
+            return true;
+        }
+    }
+    return false;
 }
 
 u32
@@ -119,6 +146,39 @@ makeMTTKRP()
     return info;
 }
 
+AlgorithmInfo
+makeFusedSDDMMSpMM()
+{
+    AlgorithmInfo info;
+    info.alg = Algorithm::FusedSDDMMSpMM;
+    info.einsum = "E[i,m] = A[i,j] * (B[i,k].C[k,j]) * F[j,m] via w[j]";
+    info.numIndices = 4;
+    info.indexNames = {"i", "j", "k", "m"};
+    info.sparseDim = {0, 1, -1, -1};
+    info.sparseOrder = 2;
+    // j and k both reduce (j into E[i,m] through the workspace, k into
+    // w[j]); i and m are safe to parallelize.
+    info.isReduction = {false, true, true, false};
+    info.denseExtent = {0, 0, 256, 256};
+    // SDDMM's fixed layouts for B/C carry over; F and the output E are
+    // row-major so the consumer streams along m.
+    info.denseOperands = {
+        {"B", {0, 2}, true, true, false},
+        {"C", {2, 1}, true, false, false},
+        {"F", {1, 3}, true, true, false},
+        {"E", {0, 3}, true, true, true},
+    };
+    info.flopsPerNnz = 2.0;
+    // Workspace w[j] lives under the shared i loops; the producer phase
+    // covers {i,j,k}, the consumer phase {i,j,m}.
+    info.usesWorkspace = true;
+    info.workspaceIndex = 1;
+    info.scopeIndex = {true, false, false, false};
+    info.producerIndex = {true, true, true, false};
+    info.consumerIndex = {true, true, false, true};
+    return info;
+}
+
 } // namespace
 
 const AlgorithmInfo&
@@ -128,11 +188,13 @@ algorithmInfo(Algorithm alg)
     static const AlgorithmInfo spmm = makeSpMM();
     static const AlgorithmInfo sddmm = makeSDDMM();
     static const AlgorithmInfo mttkrp = makeMTTKRP();
+    static const AlgorithmInfo fused = makeFusedSDDMMSpMM();
     switch (alg) {
       case Algorithm::SpMV: return spmv;
       case Algorithm::SpMM: return spmm;
       case Algorithm::SDDMM: return sddmm;
       case Algorithm::MTTKRP: return mttkrp;
+      case Algorithm::FusedSDDMMSpMM: return fused;
     }
     panic("unknown algorithm");
 }

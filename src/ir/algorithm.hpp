@@ -1,17 +1,28 @@
 /**
  * @file
- * Einsum-level descriptions of the four kernels the paper evaluates:
+ * Einsum-level descriptions of the kernels the tuner co-optimizes — the
+ * four single-expression kernels the paper evaluates plus one fused
+ * workspace kernel (the GNN attention pattern):
  *
- *   SpMV   : C[i]    = A[i,k]   * B[k]
- *   SpMM   : C[i,j]  = A[i,k]   * B[k,j]
- *   SDDMM  : D[i,j]  = A[i,j]   * B[i,k] * C[k,j]
- *   MTTKRP : D[i,j]  = A[i,k,l] * B[k,j] * C[l,j]
+ *   SpMV           : C[i]    = A[i,k]   * B[k]
+ *   SpMM           : C[i,j]  = A[i,k]   * B[k,j]
+ *   SDDMM          : D[i,j]  = A[i,j]   * B[i,k] * C[k,j]
+ *   MTTKRP         : D[i,j]  = A[i,k,l] * B[k,j] * C[l,j]
+ *   FusedSDDMMSpMM : E[i,m]  = sum_j A[i,j] * (sum_k B[i,k]*C[k,j]) * F[j,m]
  *
  * Each algorithm names its index variables, says which of them index the
  * sparse tensor A, which are reduction indices (unsafe/inefficient to
  * parallelize, Section 5.2.1), and the default extents of the dense-only
  * indices used in the paper's evaluation (|j|=256 for SpMM, |k|=256 for
  * SDDMM, |j|=16 for MTTKRP).
+ *
+ * FusedSDDMMSpMM additionally declares a dense workspace temporary
+ * (Kjolstad et al., "Sparse Tensor Algebra Optimizations with Workspaces"):
+ * the SDDMM partial w[j] = sum_k B[i,k]*C[k,j] is produced and consumed
+ * under a shared i-loop prefix, splitting the nest into a producer phase
+ * (accumulate into w over j,k) and a consumer phase (E[i,m] +=
+ * A[i,j]*w[j]*F[j,m] over j,m) without materializing the sparse SDDMM
+ * result.
  */
 #pragma once
 
@@ -23,14 +34,22 @@
 
 namespace waco {
 
-/** The four sparse kernels evaluated by the paper. */
-enum class Algorithm { SpMV, SpMM, SDDMM, MTTKRP };
+/** The co-optimized sparse kernels (four from the paper + fused). */
+enum class Algorithm { SpMV, SpMM, SDDMM, MTTKRP, FusedSDDMMSpMM };
 
 /** Printable name ("SpMV", ...). */
 std::string algorithmName(Algorithm alg);
 
-/** All four algorithms, for sweeps. */
+/** All algorithms, for sweeps. */
 const std::vector<Algorithm>& allAlgorithms();
+
+/**
+ * Parse a CLI-style algorithm name ("spmv", "SDDMM", "fused_sddmm_spmm").
+ * Matching is case-insensitive and ignores underscores, so both the
+ * printable name and the snake_case spelling resolve. Returns false when
+ * nothing matches.
+ */
+bool algorithmFromName(const std::string& name, Algorithm& out);
 
 /** A dense operand of a kernel (e.g. B[k,j] in SpMM). */
 struct DenseOperand
@@ -59,6 +78,19 @@ struct AlgorithmInfo
     std::vector<DenseOperand> denseOperands;
     /** Multiply-accumulates per sparse nonzero per unit of dense-only work. */
     double flopsPerNnz = 2.0;
+
+    // Workspace/fused-nest metadata (FusedSDDMMSpMM only). A workspace
+    // kernel lowers to two expressions sharing the loops of the scope
+    // indices: a producer that accumulates into a dense scratch vector
+    // indexed by workspaceIndex, and a consumer that reads it back.
+    bool usesWorkspace = false;
+    u32 workspaceIndex = 0; ///< Index variable the workspace is indexed by.
+    /** Indices whose loops must enclose both phases (the workspace scope). */
+    std::array<bool, 4> scopeIndex = {false, false, false, false};
+    /** Indices traversed by the producer phase (includes scope indices). */
+    std::array<bool, 4> producerIndex = {false, false, false, false};
+    /** Indices traversed by the consumer phase (includes scope indices). */
+    std::array<bool, 4> consumerIndex = {false, false, false, false};
 
     /** Index id of the sparse tensor's dimension d. */
     u32 indexOfSparseDim(u32 d) const;

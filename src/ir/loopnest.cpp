@@ -28,6 +28,25 @@ LoopNest::fromRaw(Algorithm alg, const ProblemShape& shape,
     return nest;
 }
 
+LoopNest
+LoopNest::fromRawFused(Algorithm alg, const ProblemShape& shape,
+                       const std::array<u32, 4>& splits,
+                       std::vector<LoopNode> loops, ComputeLeaf leaf,
+                       std::vector<u32> levelSlots,
+                       std::vector<LevelFormat> levelFormats,
+                       std::vector<bool> levelConcordant,
+                       std::vector<LoopNode> consumerLoops,
+                       ComputeLeaf consumerLeaf, WorkspaceDecl workspace)
+{
+    LoopNest nest = fromRaw(alg, shape, splits, std::move(loops), leaf,
+                            std::move(levelSlots), std::move(levelFormats),
+                            std::move(levelConcordant));
+    nest.consumerLoops_ = std::move(consumerLoops);
+    nest.consumerLeaf_ = consumerLeaf;
+    nest.workspace_ = workspace;
+    return nest;
+}
+
 u32
 LoopNest::loopPositionOf(u32 slot) const
 {
@@ -99,6 +118,37 @@ LoopNest::describe() const
            << algorithmInfo(alg_).indexNames[leaf_.vectorIndex] << "]";
     }
     os << "\n";
+    if (fused()) {
+        const auto& info = algorithmInfo(alg_);
+        os << "workspace w[" << info.indexNames[workspace_.index]
+           << "] extent " << workspace_.extent << " at scope depth "
+           << workspace_.scopeDepth << "; consumer phase:\n";
+        std::string cind(2 * workspace_.scopeDepth, ' ');
+        for (const LoopNode& n : consumerLoops_) {
+            os << cind;
+            if (n.parallel)
+                os << "parallel(chunk=" << n.chunk << ") ";
+            if (n.kind == LoopKind::Sparse) {
+                os << "sparse " << slotVarName(n.slot) << " over A level "
+                   << n.level;
+            } else {
+                os << "dense " << slotVarName(n.slot) << " < " << n.extent;
+            }
+            for (const LocateStep& loc : n.locates) {
+                os << "; locate " << slotVarName(loc.slot) << " in level "
+                   << loc.level
+                   << (loc.binarySearch ? " (binary search)" : " (offset)");
+            }
+            os << "\n";
+            cind += "  ";
+        }
+        os << cind << "consume E[i,m] += A * w * F";
+        if (consumerLeaf_.vectorIndex >= 0) {
+            os << "  [vector tail over "
+               << info.indexNames[consumerLeaf_.vectorIndex] << "]";
+        }
+        os << "\n";
+    }
     return os.str();
 }
 
@@ -116,11 +166,10 @@ lower(const SuperSchedule& s, const ProblemShape& shape)
     for (u32 idx = 0; idx < info.numIndices; ++idx)
         nest.splits_[idx] = std::min(s.splits[idx], shape.indexExtent[idx]);
 
-    const auto loops = activeLoopOrder(s);
+    const auto active = activeLoopOrder(s);
     nest.levelSlots_ = activeSparseLevelOrder(s);
     nest.levelFormats_ = activeSparseLevelFormats(s);
     const u32 num_levels = static_cast<u32>(nest.levelSlots_.size());
-    nest.levelConcordant_.assign(num_levels, true);
 
     auto level_of_slot = [&](u32 slot) -> int {
         for (u32 l = 0; l < num_levels; ++l) {
@@ -130,59 +179,114 @@ lower(const SuperSchedule& s, const ProblemShape& shape)
         return -1;
     };
 
-    // Walk the compute loop order, resolving A's storage levels in level
+    // Walk one compute loop order, resolving A's storage levels in level
     // order. A level whose slot-loop opens while an earlier level is still
     // unresolved becomes a full-coordinate Dense loop; it is located (by
-    // offset or binary search) once the levels above it have been traversed.
-    u32 next_level = 0;
-    for (std::size_t pos = 0; pos < loops.size(); ++pos) {
-        u32 slot = loops[pos];
-        LoopNode node;
-        node.slot = slot;
-        node.extent = slotExtent(s, shape, slot);
-        if (slot == s.parallelSlot) {
-            node.parallel = true;
-            node.chunk = s.ompChunk;
-        }
-        int level = level_of_slot(slot);
-        if (level >= 0 && static_cast<u32>(level) == next_level) {
-            node.kind = LoopKind::Sparse;
-            node.level = level;
-            ++next_level;
-            // Deeper levels whose loops already ran further out are
-            // resolved here, in level order.
-            while (next_level < num_levels) {
-                u32 dslot = nest.levelSlots_[next_level];
-                bool opened_above = false;
-                for (std::size_t q = 0; q < pos; ++q)
-                    opened_above |= (loops[q] == dslot);
-                if (!opened_above)
-                    break;
-                node.locates.push_back(
-                    {next_level, dslot,
-                     nest.levelFormats_[next_level] ==
-                         LevelFormat::Compressed});
-                nest.levelConcordant_[next_level] = false;
-                ++next_level;
+    // offset or binary search) once the levels above it have been
+    // traversed. Fused nests run this walk once per phase (the phases see
+    // the same level-slot order, so their concordance bookkeeping agrees).
+    struct Walk
+    {
+        std::vector<LoopNode> loops;
+        std::vector<bool> concordant;
+        int vectorIndex = -1;
+    };
+    auto build = [&](const std::vector<u32>& loops) {
+        Walk w;
+        w.concordant.assign(num_levels, true);
+        u32 next_level = 0;
+        for (std::size_t pos = 0; pos < loops.size(); ++pos) {
+            u32 slot = loops[pos];
+            LoopNode node;
+            node.slot = slot;
+            node.extent = slotExtent(s, shape, slot);
+            if (slot == s.parallelSlot) {
+                node.parallel = true;
+                node.chunk = s.ompChunk;
             }
-        } else {
-            node.kind = LoopKind::Dense;
-            node.level = level; // -1 for dense-only indices
+            int level = level_of_slot(slot);
+            if (level >= 0 && static_cast<u32>(level) == next_level) {
+                node.kind = LoopKind::Sparse;
+                node.level = level;
+                ++next_level;
+                // Deeper levels whose loops already ran further out are
+                // resolved here, in level order.
+                while (next_level < num_levels) {
+                    u32 dslot = nest.levelSlots_[next_level];
+                    bool opened_above = false;
+                    for (std::size_t q = 0; q < pos; ++q)
+                        opened_above |= (loops[q] == dslot);
+                    if (!opened_above)
+                        break;
+                    node.locates.push_back(
+                        {next_level, dslot,
+                         nest.levelFormats_[next_level] ==
+                             LevelFormat::Compressed});
+                    w.concordant[next_level] = false;
+                    ++next_level;
+                }
+            } else {
+                node.kind = LoopKind::Dense;
+                node.level = level; // -1 for dense-only indices
+            }
+            w.loops.push_back(std::move(node));
         }
-        nest.loops_.push_back(std::move(node));
-    }
-    panicIf(next_level != num_levels,
-            "lowering left storage levels unresolved");
+        panicIf(next_level != num_levels,
+                "lowering left storage levels unresolved");
+        if (!w.loops.empty()) {
+            const LoopNode& last = w.loops.back();
+            u32 idx = slotIndex(last.slot);
+            if (last.kind == LoopKind::Dense && last.level < 0 &&
+                nest.splits_[idx] == 1) {
+                w.vectorIndex = static_cast<int>(idx);
+            }
+        }
+        return w;
+    };
 
     nest.leaf_.alg = s.alg;
-    nest.leaf_.vectorIndex = -1;
-    if (!nest.loops_.empty()) {
-        const LoopNode& last = nest.loops_.back();
-        u32 idx = slotIndex(last.slot);
-        if (last.kind == LoopKind::Dense && last.level < 0 &&
-            nest.splits_[idx] == 1) {
-            nest.leaf_.vectorIndex = static_cast<int>(idx);
+    if (!info.usesWorkspace) {
+        Walk w = build(active);
+        nest.loops_ = std::move(w.loops);
+        nest.levelConcordant_ = std::move(w.concordant);
+        nest.leaf_.vectorIndex = w.vectorIndex;
+    } else {
+        // Fused lowering: each phase walks the active loop order with the
+        // other phase's private slots removed. S015 guarantees the scope
+        // loops lead, so the two walks share an identical prefix — the
+        // loops [0, scopeDepth) the workspace is declared under.
+        std::vector<u32> producer_order, consumer_order;
+        u32 scope_depth = 0;
+        for (u32 slot : active) {
+            u32 idx = slotIndex(slot);
+            if (info.producerIndex[idx])
+                producer_order.push_back(slot);
+            if (info.consumerIndex[idx])
+                consumer_order.push_back(slot);
         }
+        while (scope_depth < producer_order.size() &&
+               info.scopeIndex[slotIndex(producer_order[scope_depth])])
+            ++scope_depth;
+
+        Walk prod = build(producer_order);
+        Walk cons = build(consumer_order);
+        panicIf(prod.concordant != cons.concordant,
+                "fused phases disagree on level concordance");
+        for (u32 d = 0; d < scope_depth; ++d) {
+            panicIf(prod.loops[d].slot != cons.loops[d].slot,
+                    "fused phases disagree on the scope prefix");
+        }
+        nest.loops_ = std::move(prod.loops);
+        nest.levelConcordant_ = std::move(prod.concordant);
+        nest.leaf_.vectorIndex = prod.vectorIndex;
+        nest.consumerLoops_.assign(cons.loops.begin() + scope_depth,
+                                   cons.loops.end());
+        nest.consumerLeaf_.alg = s.alg;
+        nest.consumerLeaf_.vectorIndex = cons.vectorIndex;
+        nest.workspace_.present = true;
+        nest.workspace_.index = info.workspaceIndex;
+        nest.workspace_.extent = shape.indexExtent[info.workspaceIndex];
+        nest.workspace_.scopeDepth = scope_depth;
     }
 #ifndef NDEBUG
     // Lowering self-check: a verified schedule must lower to a nest that
@@ -263,6 +367,17 @@ storageOrderSchedule(Algorithm alg, const FormatDescriptor& desc)
     }
     for (u32 slot = 0; slot < 2 * info.numIndices; ++slot)
         push(slot);
+
+    // Workspace kernels need the scope loops outermost (S015): the
+    // workspace is private per scope iteration, so no phase loop may run
+    // outside it. Storage orders that lead with another dimension (e.g.
+    // CSC's column level) then traverse discordantly, via locates.
+    if (info.usesWorkspace) {
+        std::stable_partition(s.loopOrder.begin(), s.loopOrder.end(),
+                              [&](u32 slot) {
+                                  return info.scopeIndex[slotIndex(slot)];
+                              });
+    }
 
     // Parallel annotation: the outermost non-reduction slot (the executor
     // decides at run time whether the top loop is actually chunked).

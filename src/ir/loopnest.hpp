@@ -22,6 +22,16 @@
  *
  * Exactly one compute leaf per algorithm sits under the innermost loop.
  *
+ * Workspace kernels (Algorithm::FusedSDDMMSpMM) lower to a FUSED nest: a
+ * shared scope prefix (the loops of the algorithm's scope indices), a
+ * dense workspace temporary declared at the fission point, and two phase
+ * bodies under it. loops() holds prefix + producer phase with leaf() its
+ * accumulate statement (w[j] += ...); consumerLoops() holds the consumer
+ * phase (depths scopeDepth..) with consumerLeaf() its statement (E +=
+ * A*w[j]*F). Each scope iteration zero-initializes the workspace, runs
+ * the producer, then the consumer — init/accumulate/consume phases with
+ * an explicit scope level (Kjolstad et al., workspaces).
+ *
  * Three consumers share this IR so they can never drift apart:
  *  - exec/loopnest_exec.cpp interprets it (the real execution engine),
  *  - codegen/emit.cpp pretty-prints it as TACO-style C,
@@ -67,6 +77,20 @@ struct LoopNode
     std::vector<LocateStep> locates;
 };
 
+/**
+ * Dense workspace temporary of a fused nest: a scratch vector indexed by
+ * one index variable, private to each iteration of the scope prefix
+ * (loops [0, scopeDepth)). Executors allocate one per parallel chunk and
+ * zero it at the top of every scope iteration (the init phase).
+ */
+struct WorkspaceDecl
+{
+    bool present = false;
+    u32 index = 0;      ///< Index variable the workspace is indexed by.
+    u32 extent = 0;     ///< Coordinate extent (shape.indexExtent[index]).
+    u32 scopeDepth = 0; ///< Declared under loops [0, scopeDepth).
+};
+
 /** The single compute statement under the innermost loop. */
 struct ComputeLeaf
 {
@@ -89,8 +113,23 @@ class LoopNest
   public:
     Algorithm alg() const { return alg_; }
     const ProblemShape& shape() const { return shape_; }
+    /** Every loop of a single-expression nest; scope prefix + producer
+     *  phase of a fused one. */
     const std::vector<LoopNode>& loops() const { return loops_; }
+    /** Compute statement of the (producer) nest. */
     const ComputeLeaf& leaf() const { return leaf_; }
+
+    /** True for a fused workspace nest (consumer phase present). */
+    bool fused() const { return workspace_.present; }
+    /** Workspace temporary (present only for fused nests). */
+    const WorkspaceDecl& workspace() const { return workspace_; }
+    /** Consumer-phase loops, starting at depth workspace().scopeDepth. */
+    const std::vector<LoopNode>& consumerLoops() const
+    {
+        return consumerLoops_;
+    }
+    /** Compute statement of the consumer phase. */
+    const ComputeLeaf& consumerLeaf() const { return consumerLeaf_; }
 
     /** Number of storage levels of A (== formatOf(...).numLevels()). */
     u32 numLevels() const { return static_cast<u32>(levelSlots_.size()); }
@@ -134,6 +173,19 @@ class LoopNest
                             std::vector<LevelFormat> levelFormats,
                             std::vector<bool> levelConcordant);
 
+    /** fromRaw for fused nests: additionally installs the consumer phase
+     *  and the workspace declaration. Same no-validation contract. */
+    static LoopNest fromRawFused(Algorithm alg, const ProblemShape& shape,
+                                 const std::array<u32, 4>& splits,
+                                 std::vector<LoopNode> loops,
+                                 ComputeLeaf leaf,
+                                 std::vector<u32> levelSlots,
+                                 std::vector<LevelFormat> levelFormats,
+                                 std::vector<bool> levelConcordant,
+                                 std::vector<LoopNode> consumerLoops,
+                                 ComputeLeaf consumerLeaf,
+                                 WorkspaceDecl workspace);
+
   private:
     friend LoopNest lower(const SuperSchedule& s, const ProblemShape& shape);
 
@@ -145,6 +197,10 @@ class LoopNest
     std::vector<u32> levelSlots_;
     std::vector<LevelFormat> levelFormats_;
     std::vector<bool> levelConcordant_;
+    // Fused-nest extension (empty / absent for single-expression nests).
+    std::vector<LoopNode> consumerLoops_;
+    ComputeLeaf consumerLeaf_;
+    WorkspaceDecl workspace_;
 };
 
 /**

@@ -345,6 +345,15 @@ SuperScheduleSpace::sample(Rng& rng) const
         s.splits[idx] = rng.pick(split_options_[idx]);
     auto perm = rng.permutation(numSlots());
     s.loopOrder.assign(perm.begin(), perm.end());
+    // Workspace kernels constrain the order (S015): the scope loops must
+    // enclose both phases. Partition them to the front, keeping the
+    // sampled relative order within each group.
+    if (info.usesWorkspace) {
+        std::stable_partition(s.loopOrder.begin(), s.loopOrder.end(),
+                              [&](u32 slot) {
+                                  return info.scopeIndex[slotIndex(slot)];
+                              });
+    }
     s.parallelSlot = rng.pick(parallel_options_);
     s.numThreads = rng.pick(thread_options_);
     s.ompChunk = rng.pick(chunk_options_);
@@ -382,6 +391,14 @@ SuperScheduleSpace::mutate(const SuperSchedule& s, Rng& rng) const
         std::size_t a = rng.index(out.loopOrder.size());
         std::size_t b = rng.index(out.loopOrder.size());
         std::swap(out.loopOrder[a], out.loopOrder[b]);
+        // Restore the workspace-scope constraint (S015) after the swap.
+        const auto& info = algorithmInfo(alg_);
+        if (info.usesWorkspace) {
+            std::stable_partition(out.loopOrder.begin(), out.loopOrder.end(),
+                                  [&](u32 slot) {
+                                      return info.scopeIndex[slotIndex(slot)];
+                                  });
+        }
         break;
       }
       case 2:
@@ -568,6 +585,17 @@ wellKnownFormatSchedules(const ProblemShape& shape)
         dense_tail(lo);
         s.loopOrder = lo;
         out.push_back(s);
+    }
+    // Workspace kernels: the CSC/UUC entries lead with column slots, which
+    // S015 forbids (the scope loops must enclose both phases). Keep the
+    // format half — the traversal just turns discordant.
+    if (info.usesWorkspace) {
+        for (auto& s : out) {
+            std::stable_partition(s.loopOrder.begin(), s.loopOrder.end(),
+                                  [&](u32 slot) {
+                                      return info.scopeIndex[slotIndex(slot)];
+                                  });
+        }
     }
     for (const auto& s : out)
         validateSchedule(s, shape);

@@ -268,10 +268,11 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
 
     double fma_per_dense_iter = info.flopsPerNnz / 2.0;
     double loads_per_dense_iter = info.flopsPerNnz; // one load per flop operand
-    double leaf_cycles =
-        leaf_visits * inner_dense_work *
-        (fma_per_dense_iter * mc.fmaCycles / simd_factor +
-         loads_per_dense_iter * mc.scalarLoadCycles / (simd ? mc.simdWidth : 1.0));
+    double per_dense_iter_cycles =
+        fma_per_dense_iter * mc.fmaCycles / simd_factor +
+        loads_per_dense_iter * mc.scalarLoadCycles /
+            (simd ? mc.simdWidth : 1.0);
+    double leaf_cycles = leaf_visits * inner_dense_work * per_dense_iter_cycles;
 
     // ---- discordance: searches over compressed levels (Section 3.1) ----
     double discord_cycles = 0.0;
@@ -292,6 +293,79 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
         }
     }
 
+    // ---- fused workspace nests: phase-split compute costs ----
+    double workspace_cycles = 0.0;
+    if (nest.fused()) {
+        const WorkspaceDecl& wsd = nest.workspace();
+        const auto& cons = nest.consumerLoops();
+
+        // The generic leaf term charges the product of ALL dense-only
+        // extents (K·M) per stored point; the fused nest does K work in the
+        // producer and M in the consumer per stored point instead.
+        double prod_dense = 1.0;
+        double cons_dense = 1.0;
+        for (u32 idx = 0; idx < info.numIndices; ++idx) {
+            if (!dense_only(idx))
+                continue;
+            if (info.producerIndex[idx])
+                prod_dense *= shape.indexExtent[idx];
+            if (info.consumerIndex[idx])
+                cons_dense *= shape.indexExtent[idx];
+        }
+        leaf_cycles =
+            leaf_visits * (prod_dense / leaf_visits_mult) *
+                per_dense_iter_cycles +
+            stored * cons_dense * per_dense_iter_cycles;
+
+        // The consumer phase re-traverses A's below-scope levels and
+        // re-fires their locate drains, once per enclosing dense iteration
+        // of the consumer walk.
+        double cons_mult = 1.0;
+        for (const LoopNode& n : cons) {
+            if (n.kind == LoopKind::Sparse) {
+                const BuiltLevel& bl = fmt.levels()[n.level];
+                double per = bl.fmt == LevelFormat::Uncompressed
+                    ? mc.uncompressedLevelCycles
+                    : mc.compressedLevelCycles;
+                traversal_cycles +=
+                    cons_mult * level_visits[n.level] *
+                    static_cast<double>(bl.numPositions) * per;
+            } else if (dense_only(slotIndex(n.slot))) {
+                cons_mult *= n.extent;
+            }
+            for (const LocateStep& ls : n.locates) {
+                const BuiltLevel& bl = fmt.levels()[ls.level];
+                double parent = std::max<double>(
+                    1.0, static_cast<double>(
+                             ls.level ? fmt.levels()[ls.level - 1].numPositions
+                                      : 1));
+                double fanout = std::max(
+                    2.0, static_cast<double>(bl.numPositions) / parent);
+                double probes = bl.fmt == LevelFormat::Compressed
+                    ? std::log2(fanout) * mc.searchCyclesPerProbe
+                    : mc.uncompressedLevelCycles;
+                discord_cycles += stored * cons_mult * probes;
+            }
+        }
+
+        // Workspace init: a dense J-vector zeroed once per scope iteration.
+        // (The accumulate/consume accesses ride in the leaf terms, and at
+        // 4·J bytes the vector is cache-resident — no miss traffic.)
+        double ws_iters = 1.0;
+        for (u32 d = 0; d < wsd.scopeDepth && d < num_loops; ++d) {
+            const LoopNode& n = loops[d];
+            if (n.kind == LoopKind::Sparse) {
+                // numPositions already includes outer fan-out.
+                ws_iters = static_cast<double>(
+                    fmt.levels()[n.level].numPositions);
+            } else {
+                ws_iters *= n.extent;
+            }
+        }
+        workspace_cycles =
+            ws_iters * static_cast<double>(wsd.extent) * mc.scalarLoadCycles;
+    }
+
     // ---- memory traffic ----
     double llc = mc.llcBytes;
     double v_max = leaf_visits_mult;
@@ -301,6 +375,10 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
     double a_miss = a_bytes;
     if (v_max > 1.0 && a_bytes > llc)
         a_miss += (v_max - 1.0) * a_bytes;
+    // The consumer phase of a fused nest walks A's below-scope levels a
+    // second time; an LLC-resident tensor is free, a larger one pays again.
+    if (nest.fused() && a_bytes > llc)
+        a_miss += a_bytes;
 
     double dense_miss = 0.0;
     for (std::size_t op = 0; op < info.denseOperands.size(); ++op) {
@@ -346,6 +424,12 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
             for (u32 p = boundary + 1; p < num_loops; ++p) {
                 if (slotIndex(loops[p].slot) == contig_idx)
                     inner_extent *= loops[p].extent;
+            }
+            // Consumer-only contiguous indices (fused m) loop inside the
+            // consumer phase, not in loops(): whole rows are fetched.
+            for (const LoopNode& cn : nest.consumerLoops()) {
+                if (slotIndex(cn.slot) == contig_idx)
+                    inner_extent *= cn.extent;
             }
             fetch_bytes = 4.0 * std::max(1.0, inner_extent);
             dense_outer_mult = shape.indexExtent[contig_idx] /
@@ -465,12 +549,20 @@ RuntimeOracle::measureImpl(const std::vector<std::array<u32, 3>>& coords,
     double miss_cycles = miss_bytes / kLineBytes * mc.missLatencyCycles *
                          mc.missOverlapFactor;
 
-    double total_cycles =
-        traversal_cycles + leaf_cycles + discord_cycles + miss_cycles;
+    double total_cycles = traversal_cycles + leaf_cycles + discord_cycles +
+                          workspace_cycles + miss_cycles;
 
     // ---- parallel decomposition ----
     u32 p_slot = s.parallelSlot;
     bool p_degenerate = slotDegenerate(s, p_slot);
+    if (!p_degenerate && nest.fused()) {
+        // A consumer-phase parallel slot is not in loops(): its pragma sits
+        // inside the scope loop (R002) and buys nothing — model it serial.
+        bool in_producer_walk = false;
+        for (const LoopNode& n : loops)
+            in_producer_walk |= (n.slot == p_slot);
+        p_degenerate = p_degenerate || !in_producer_walk;
+    }
     u32 p_pos = p_degenerate ? num_loops : loop_pos(p_slot);
     u32 p_extent = p_degenerate ? 1 : slotExtent(s, shape, p_slot);
 

@@ -491,7 +491,7 @@ TEST(ScheduleVerifier, StructureOnlyOverloadSkipsShapeChecks)
 TEST(ScheduleVerifier, RandomInsertCapabilityIsS013)
 {
     // No shipped kernel random-inserts (requiredAccess is empty for all
-    // four), so the capability check is exercised with a synthetic
+    // five), so the capability check is exercised with a synthetic
     // requirement, the way a future scatter-style kernel would state it.
     for (Algorithm alg : allAlgorithms()) {
         auto req = analysis::requiredAccess(alg);
@@ -515,6 +515,41 @@ TEST(ScheduleVerifier, RandomInsertCapabilityIsS013)
     DiagnosticBag ok;
     analysis::checkAccessCapabilities(dense, need_insert, ok);
     EXPECT_TRUE(ok.empty());
+}
+
+TEST(ScheduleVerifier, WorkspaceScopeNotOutermostIsS015)
+{
+    auto shape =
+        ProblemShape::forMatrix(Algorithm::FusedSDDMMSpMM, 48, 40, 6);
+    auto s = defaultSchedule(shape);
+    EXPECT_FALSE(analysis::verifySchedule(s, shape).hasErrors());
+
+    // Swap the leading scope (i) slot with the first non-scope slot: the
+    // workspace's fission point no longer dominates both phases.
+    const auto& info = algorithmInfo(Algorithm::FusedSDDMMSpMM);
+    std::size_t first_scope = s.loopOrder.size(), first_other = s.loopOrder.size();
+    for (std::size_t n = 0; n < s.loopOrder.size(); ++n) {
+        bool scope = info.scopeIndex[slotIndex(s.loopOrder[n])];
+        if (scope && first_scope == s.loopOrder.size())
+            first_scope = n;
+        if (!scope && first_other == s.loopOrder.size())
+            first_other = n;
+    }
+    ASSERT_LT(first_scope, s.loopOrder.size());
+    ASSERT_LT(first_other, s.loopOrder.size());
+    std::swap(s.loopOrder[first_scope], s.loopOrder[first_other]);
+    auto diags = analysis::verifySchedule(s, shape);
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(diags.has(DiagCode::S015_WorkspaceScopeOrder))
+        << diags.format();
+
+    // Non-workspace algorithms can order loops freely: never S015.
+    auto spmm_shape = ProblemShape::forMatrix(Algorithm::SpMM, 48, 40, 8);
+    auto sp = defaultSchedule(spmm_shape);
+    std::swap(sp.loopOrder[0], sp.loopOrder[1]);
+    EXPECT_FALSE(
+        analysis::verifySchedule(sp, spmm_shape).has(
+            DiagCode::S015_WorkspaceScopeOrder));
 }
 
 TEST(ScheduleVerifier, PerfNotesSurfaceSectionThreeOneCosts)
@@ -657,24 +692,24 @@ TEST(Canonicalization, DistinctClassesKeepDistinctKeys)
 
 TEST(ParseKey, RoundTripsSampledSchedules)
 {
-    std::vector<std::pair<Algorithm, ProblemShape>> cases = {
-        {Algorithm::SpMV, ProblemShape::forMatrix(Algorithm::SpMV, 48, 40)},
-        {Algorithm::SpMM,
-         ProblemShape::forMatrix(Algorithm::SpMM, 48, 40, 8)},
-        {Algorithm::SDDMM,
-         ProblemShape::forMatrix(Algorithm::SDDMM, 48, 40, 6)},
-        {Algorithm::MTTKRP,
-         ProblemShape::forTensor3(Algorithm::MTTKRP, 16, 12, 10, 8)},
-    };
-    for (const auto& [alg, shape] : cases) {
+    // Every registered algorithm — a sixth kernel added without a key
+    // round trip fails here, not in production logs.
+    for (Algorithm alg : allAlgorithms()) {
+        const auto& info = algorithmInfo(alg);
+        ProblemShape shape =
+            info.sparseOrder == 3
+                ? ProblemShape::forTensor3(alg, 16, 12, 10, 8)
+                : ProblemShape::forMatrix(alg, 48, 40, 6);
         Rng rng(42 + static_cast<u64>(alg));
         SuperScheduleSpace space(alg, shape);
         for (u32 n = 0; n < 10; ++n) {
             SuperSchedule s = space.sample(rng);
-            EXPECT_EQ(SuperSchedule::parseKey(s.key()).key(), s.key());
+            EXPECT_EQ(SuperSchedule::parseKey(s.key()).key(), s.key())
+                << algorithmName(alg);
         }
         auto d = defaultSchedule(shape);
-        EXPECT_EQ(SuperSchedule::parseKey(d.key()).key(), d.key());
+        EXPECT_EQ(SuperSchedule::parseKey(d.key()).key(), d.key())
+            << algorithmName(alg);
     }
 }
 
@@ -912,6 +947,179 @@ TEST_F(LoopNestCorruption, ChunkZeroIsR003Warning)
     auto diags = analysis::verifyLoopNest(p.build());
     EXPECT_FALSE(diags.hasErrors()) << diags.format();
     EXPECT_TRUE(diags.has(DiagCode::R003_ParallelChunkZero));
+}
+
+// ---------------------------------------------------------------------------
+// Fused (workspace) nest corruption via fromRawFused
+// ---------------------------------------------------------------------------
+
+/** FusedNestParts: NestParts plus the consumer phase and the workspace. */
+struct FusedNestParts
+{
+    Algorithm alg;
+    ProblemShape shape;
+    std::array<u32, 4> splits;
+    std::vector<LoopNode> loops;
+    ComputeLeaf leaf;
+    std::vector<u32> levelSlots;
+    std::vector<LevelFormat> levelFormats;
+    std::vector<bool> levelConcordant;
+    std::vector<LoopNode> consumerLoops;
+    ComputeLeaf consumerLeaf;
+    WorkspaceDecl workspace;
+
+    LoopNest build() const
+    {
+        return LoopNest::fromRawFused(alg, shape, splits, loops, leaf,
+                                      levelSlots, levelFormats,
+                                      levelConcordant, consumerLoops,
+                                      consumerLeaf, workspace);
+    }
+};
+
+FusedNestParts
+fusedPartsOf(const LoopNest& n)
+{
+    FusedNestParts p;
+    p.alg = n.alg();
+    p.shape = n.shape();
+    p.splits = {n.splitOf(0), n.splitOf(1), n.splitOf(2), n.splitOf(3)};
+    p.loops = n.loops();
+    p.leaf = n.leaf();
+    for (u32 l = 0; l < n.numLevels(); ++l) {
+        p.levelSlots.push_back(n.levelSlot(l));
+        p.levelFormats.push_back(n.levelFormat(l));
+        p.levelConcordant.push_back(n.levelConcordant(l));
+    }
+    p.consumerLoops = n.consumerLoops();
+    p.consumerLeaf = n.consumerLeaf();
+    p.workspace = n.workspace();
+    return p;
+}
+
+class FusedNestCorruption : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        shape_ =
+            ProblemShape::forMatrix(Algorithm::FusedSDDMMSpMM, 48, 40, 6);
+        auto nest = lower(defaultSchedule(shape_), shape_);
+        ASSERT_TRUE(nest.fused());
+        base_ = fusedPartsOf(nest);
+        ASSERT_GE(base_.workspace.scopeDepth, 1u);
+        ASSERT_GT(base_.loops.size(), base_.workspace.scopeDepth);
+        ASSERT_FALSE(base_.consumerLoops.empty());
+    }
+
+    ProblemShape shape_;
+    FusedNestParts base_;
+};
+
+TEST_F(FusedNestCorruption, RoundTripOfValidFusedNestVerifiesClean)
+{
+    auto diags = analysis::verifyLoopNest(base_.build());
+    EXPECT_FALSE(diags.hasErrors()) << diags.format();
+    EXPECT_FALSE(diags.has(DiagCode::R004_ParallelWorkspaceWrite));
+    EXPECT_FALSE(diags.has(DiagCode::R005_ParallelWorkspaceConsume));
+}
+
+TEST_F(FusedNestCorruption, WorkspaceExtentMismatchIsL011)
+{
+    auto p = base_;
+    p.workspace.extent += 3; // no longer covers index j
+    auto diags = analysis::verifyLoopNest(p.build());
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(diags.has(DiagCode::L011_WorkspaceScopeInvalid))
+        << diags.format();
+}
+
+TEST_F(FusedNestCorruption, ScopeDepthPastNestIsL011)
+{
+    auto p = base_;
+    p.workspace.scopeDepth = static_cast<u32>(p.loops.size()) + 1;
+    auto diags = analysis::verifyLoopNest(p.build());
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(diags.has(DiagCode::L011_WorkspaceScopeInvalid))
+        << diags.format();
+}
+
+TEST_F(FusedNestCorruption, NonScopeLoopInsidePrefixIsL011)
+{
+    auto p = base_;
+    // Pull a producer loop up into the scope prefix: the workspace is now
+    // declared under a loop that only the producer phase iterates.
+    std::swap(p.loops[p.workspace.scopeDepth - 1],
+              p.loops[p.workspace.scopeDepth]);
+    auto diags = analysis::verifyLoopNest(p.build());
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(diags.has(DiagCode::L011_WorkspaceScopeInvalid))
+        << diags.format();
+}
+
+TEST_F(FusedNestCorruption, MissingWorkspaceDeclIsL012)
+{
+    auto p = base_;
+    p.workspace = WorkspaceDecl{}; // kernel fuses, nest says it doesn't
+    auto diags = analysis::verifyLoopNest(p.build());
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(diags.has(DiagCode::L012_WorkspaceInitBeforeUse))
+        << diags.format();
+}
+
+TEST_F(FusedNestCorruption, MissingConsumerPhaseIsL012)
+{
+    auto p = base_;
+    p.consumerLoops.clear(); // accumulated but never consumed
+    auto diags = analysis::verifyLoopNest(p.build());
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(diags.has(DiagCode::L012_WorkspaceInitBeforeUse))
+        << diags.format();
+}
+
+TEST_F(FusedNestCorruption, WorkspaceOnSingleExpressionNestIsL012)
+{
+    // The dual corruption: a non-workspace kernel whose nest smuggles in
+    // a consumer phase.
+    auto spmm_shape = ProblemShape::forMatrix(Algorithm::SpMM, 48, 40, 8);
+    auto spmm = fusedPartsOf(lower(defaultSchedule(spmm_shape), spmm_shape));
+    spmm.workspace = base_.workspace;
+    spmm.consumerLoops = base_.consumerLoops;
+    spmm.consumerLeaf = base_.consumerLeaf;
+    auto diags = analysis::verifyLoopNest(spmm.build());
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(diags.has(DiagCode::L012_WorkspaceInitBeforeUse))
+        << diags.format();
+}
+
+TEST_F(FusedNestCorruption, ParallelProducerLoopIsR004)
+{
+    auto p = base_;
+    // Parallelize a producer-phase loop: every thread of that loop
+    // accumulates into the scratch vector of the same scope iteration.
+    auto& n = p.loops[p.workspace.scopeDepth];
+    n.parallel = true;
+    n.chunk = 8;
+    auto diags = analysis::verifyLoopNest(p.build());
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(diags.has(DiagCode::R004_ParallelWorkspaceWrite))
+        << diags.format();
+}
+
+TEST_F(FusedNestCorruption, ParallelScopeLoopBelowScopeIsR005)
+{
+    auto p = base_;
+    // Declare the workspace *above* every loop (scope depth 0): the
+    // parallel scope loop now runs both phases against one shared scratch
+    // vector — producer writes race consumer reads.
+    p.workspace.scopeDepth = 0;
+    p.loops[0].parallel = true;
+    if (p.loops[0].chunk == 0)
+        p.loops[0].chunk = 8;
+    auto diags = analysis::verifyLoopNest(p.build());
+    EXPECT_TRUE(diags.hasErrors());
+    EXPECT_TRUE(diags.has(DiagCode::R005_ParallelWorkspaceConsume))
+        << diags.format();
 }
 
 TEST(VerifyLowered, MergesBothPassesAndShortCircuitsOnErrors)

@@ -2,7 +2,7 @@
  * @file
  * Differential fuzzing of the lowered loop-nest IR and its three consumers.
  *
- * ~200 seeded random (SuperSchedule, Algorithm, input) triples are sampled
+ * ~240 seeded random (SuperSchedule, Algorithm, input) triples are sampled
  * from SuperScheduleSpace; for each one the schedule is lowered, the input
  * is built in the schedule's format, and the generic interpreter
  * (executeLoopNest) must *bit-match* the dense COO references in
@@ -266,7 +266,92 @@ fuzzMttkrp(u32 target, u64 seed)
     return st;
 }
 
-// 200 triples total across the four algorithms. Each test also checks that
+/** Fused SDDMM→SpMM: sampled schedules carry a workspace and a consumer
+ *  phase; both walks must be emitted, verify clean, and bit-match the
+ *  dense fused reference (serial and parallel — chunks own private
+ *  workspaces, and integer inputs make float accumulation exact). */
+FuzzStats
+fuzzFused(u32 target, u64 seed)
+{
+    Rng rng(seed);
+    FuzzStats st;
+
+    const u32 rows = 48, cols = 40, dense_extent = 6;
+    auto shape = ProblemShape::forMatrix(Algorithm::FusedSDDMMSpMM, rows,
+                                         cols, dense_extent);
+    SuperScheduleSpace space(Algorithm::FusedSDDMMSpMM, shape);
+
+    auto m = intMatrix(rows, cols, 400, rng);
+    DenseMatrix b(rows, dense_extent);
+    DenseMatrix c(dense_extent, cols, Layout::ColMajor);
+    DenseMatrix f(cols, dense_extent);
+    fillInt(b, rng);
+    fillInt(c, rng);
+    fillInt(f, rng);
+    DenseMatrix want = fusedSddmmSpmmReference(m, b, c, f);
+
+    u32 attempts = 0;
+    while (st.executed < target && attempts < 20 * target) {
+        ++attempts;
+        SuperSchedule s = space.sample(rng);
+        std::optional<HierSparseTensor> t;
+        try {
+            t = HierSparseTensor::build(formatOf(s, shape), m);
+        } catch (const FormatTooLarge&) {
+            ++st.skipped;
+            continue;
+        }
+
+        LoopNest nest = lower(s, shape);
+        EXPECT_TRUE(nest.fused()) << s.key();
+        if (!nest.fused())
+            return st;
+        EXPECT_EQ(nest.workspace().extent, cols) << s.key();
+        // Verifier as differential oracle, exactly as in fuzz2d.
+        auto diags = analysis::verifyLowered(s, shape);
+        EXPECT_FALSE(diags.hasErrors()) << s.key() << "\n" << diags.format();
+        if (hasBinarySearchLocate(nest))
+            ++st.discordant;
+
+        // The emitter must name every loop of BOTH walks and print the
+        // workspace's init/producer/consumer statements.
+        std::string code = emitC(s, shape);
+        for (const LoopNode& n : nest.loops()) {
+            std::string binding = "int " + nest.slotVarName(n.slot) + " =";
+            EXPECT_NE(code.find(binding), std::string::npos)
+                << "producer walk misses '" << nest.slotVarName(n.slot)
+                << "'\n" << s.key() << "\n" << code;
+        }
+        for (const LoopNode& n : nest.consumerLoops()) {
+            std::string binding = "int " + nest.slotVarName(n.slot) + " =";
+            EXPECT_NE(code.find(binding), std::string::npos)
+                << "consumer walk misses '" << nest.slotVarName(n.slot)
+                << "'\n" << s.key() << "\n" << code;
+        }
+        EXPECT_NE(code.find("float w["), std::string::npos) << code;
+        EXPECT_NE(code.find("w[_w] = 0.0f;"), std::string::npos) << code;
+        EXPECT_NE(code.find("w[j] += B[i * K + k] * C[k * J + j];"),
+                  std::string::npos)
+            << code;
+        EXPECT_NE(code.find("E[i * M + m] += A_vals[pA] * w[j] * "
+                            "F[j * M + m];"),
+                  std::string::npos)
+            << code;
+
+        LoopNestArgs args;
+        args.a = &*t;
+        args.matB = &b;
+        args.matC = &c;
+        args.matF = &f;
+        auto got = executeLoopNest(nest, args, parFor(st.executed));
+        EXPECT_EQ(0.0, maxAbsDiff(want, got.mat)) << s.key();
+        ++st.executed;
+    }
+    EXPECT_EQ(st.executed, target) << "too many sampled formats skipped";
+    return st;
+}
+
+// 240 triples total across the five algorithms. Each test also checks that
 // the sample actually covered discordant (locate) traversals — a fuzz run
 // that never hits binary search would not be testing the hard path.
 
@@ -294,21 +379,28 @@ TEST(LoopNestFuzz, MttkrpBitMatchesReference)
     EXPECT_GT(st.discordant, 0u);
 }
 
+TEST(LoopNestFuzz, FusedSddmmSpmmBitMatchesReference)
+{
+    auto st = fuzzFused(40, 505);
+    EXPECT_GT(st.discordant, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Every kernel entry point dispatches through the one generic executor.
 // ---------------------------------------------------------------------------
 
-TEST(LoopNestDispatch, AllFourAlgorithmsUseExecuteLoopNest)
+TEST(LoopNestDispatch, AllFiveAlgorithmsUseExecuteLoopNest)
 {
     Rng rng(7);
     auto m = intMatrix(32, 24, 150, rng);
     auto csr = HierSparseTensor::build(FormatDescriptor::csr(32, 24), m);
     DenseVector vb(24);
     fillInt(vb, rng);
-    DenseMatrix mb(24, 4), sb(32, 4), sc(4, 24, Layout::ColMajor);
+    DenseMatrix mb(24, 4), sb(32, 4), sc(4, 24, Layout::ColMajor), fb(24, 4);
     fillInt(mb, rng);
     fillInt(sb, rng);
     fillInt(sc, rng);
+    fillInt(fb, rng);
     auto t3 = intTensor(12, 10, 8, 80, rng);
     auto csf = HierSparseTensor::build(FormatDescriptor::csf3d(12, 10, 8),
                                        t3);
@@ -321,11 +413,13 @@ TEST(LoopNestDispatch, AllFourAlgorithmsUseExecuteLoopNest)
     spmmHier(csr, mb);
     sddmmHier(csr, sb, sc);
     mttkrpHier(csf, kb, kc);
+    fusedSddmmSpmmHier(csr, sb, sc, fb);
     spmvScheduled(csr, vb, {2, 8});
     spmmScheduled(csr, mb, {2, 8});
     sddmmScheduled(csr, sb, sc, {2, 8});
     mttkrpScheduled(csf, kb, kc, {2, 8});
-    EXPECT_EQ(loopNestExecutionCount() - before, 8u);
+    fusedSddmmSpmmScheduled(csr, sb, sc, fb, {2, 8});
+    EXPECT_EQ(loopNestExecutionCount() - before, 10u);
 }
 
 /** SDDMM now has a parallel path (it used to be serial-only). */
@@ -344,6 +438,38 @@ TEST(LoopNestDispatch, SddmmScheduledMatchesReferenceInParallel)
         ASSERT_EQ(want.nnz(), got.nnz()) << desc.name();
         for (u64 n = 0; n < want.nnz(); ++n)
             EXPECT_EQ(want.values()[n], got.values()[n]) << desc.name();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused workspace nests under parallel execution. Registered under the
+// `tsan` ctest label too (tests/CMakeLists.txt): ThreadSanitizer proves the
+// per-chunk workspace privatization makes the producer/consumer phases
+// race-free, and bitwise equality with the serial run proves the chunks
+// never share accumulation state.
+// ---------------------------------------------------------------------------
+
+TEST(FusedWorkspaceTsan, ParallelChunksUsePrivateWorkspaces)
+{
+    Rng rng(29);
+    auto m = intMatrix(96, 80, 1200, rng);
+    DenseMatrix b(96, 6), c(6, 80, Layout::ColMajor), f(80, 6);
+    fillInt(b, rng);
+    fillInt(c, rng);
+    fillInt(f, rng);
+    auto want = fusedSddmmSpmmReference(m, b, c, f);
+    for (const auto& desc :
+         {FormatDescriptor::csr(96, 80), FormatDescriptor::csc(96, 80)}) {
+        auto t = HierSparseTensor::build(desc, m);
+        auto serial = fusedSddmmSpmmScheduled(t, b, c, f, {1, 16});
+        EXPECT_EQ(0.0, maxAbsDiff(want, serial)) << desc.name();
+        // Repeated heavily-chunked parallel runs: any cross-chunk workspace
+        // sharing would race (tsan) and break bitwise equality.
+        for (u32 run = 0; run < 4; ++run) {
+            auto par = fusedSddmmSpmmScheduled(t, b, c, f, {4, 3});
+            EXPECT_EQ(0.0, maxAbsDiff(want, par))
+                << desc.name() << " run " << run;
+        }
     }
 }
 

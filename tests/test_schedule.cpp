@@ -27,6 +27,40 @@ TEST(Algorithm, StaticDescriptions)
     const auto& mttkrp = algorithmInfo(Algorithm::MTTKRP);
     EXPECT_EQ(mttkrp.sparseOrder, 3u);
     EXPECT_EQ(mttkrp.denseExtent[3], 16u);
+
+    const auto& fused = algorithmInfo(Algorithm::FusedSDDMMSpMM);
+    EXPECT_EQ(fused.numIndices, 4u);
+    EXPECT_EQ(fused.sparseOrder, 2u);
+    EXPECT_TRUE(fused.isReduction[1]);  // j: reduced into E
+    EXPECT_TRUE(fused.isReduction[2]);  // k: reduced into the workspace
+    EXPECT_FALSE(fused.isReduction[3]); // m
+    EXPECT_TRUE(fused.usesWorkspace);
+    EXPECT_EQ(fused.workspaceIndex, 1u); // w is indexed by j
+    EXPECT_TRUE(fused.scopeIndex[0]);    // workspace private per row i
+    EXPECT_FALSE(fused.scopeIndex[1]);
+    EXPECT_TRUE(fused.producerIndex[2]); // producer reduces over k
+    EXPECT_FALSE(fused.producerIndex[3]);
+    EXPECT_TRUE(fused.consumerIndex[3]); // consumer expands along m
+    EXPECT_FALSE(fused.consumerIndex[2]);
+
+    // Single-expression kernels never declare a workspace.
+    for (Algorithm alg :
+         {Algorithm::SpMV, Algorithm::SpMM, Algorithm::SDDMM,
+          Algorithm::MTTKRP}) {
+        EXPECT_FALSE(algorithmInfo(alg).usesWorkspace)
+            << algorithmName(alg);
+    }
+
+    // Name round trip (the tune_cli --alg surface).
+    for (Algorithm alg : allAlgorithms()) {
+        Algorithm back;
+        EXPECT_TRUE(algorithmFromName(algorithmName(alg), back));
+        EXPECT_EQ(back, alg);
+    }
+    Algorithm fused_alg;
+    EXPECT_TRUE(algorithmFromName("fused_sddmm_spmm", fused_alg));
+    EXPECT_EQ(fused_alg, Algorithm::FusedSDDMMSpMM);
+    EXPECT_FALSE(algorithmFromName("no_such_kernel", fused_alg));
 }
 
 TEST(SuperSchedule, DefaultIsCsrConcordant)
@@ -150,7 +184,7 @@ TEST_P(SampledSchedules, AlwaysValid)
 
 INSTANTIATE_TEST_SUITE_P(
     AllAlgorithms, SampledSchedules,
-    ::testing::Combine(::testing::Range(0, 4), ::testing::Values(1u, 2u, 3u)));
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Values(1u, 2u, 3u)));
 
 } // namespace
 } // namespace waco

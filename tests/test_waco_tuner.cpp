@@ -71,6 +71,41 @@ TEST_F(WacoTunerTest, EndToEndSpmm)
     }
 }
 
+/** The fused workspace kernel rides the identical pipeline: dataset
+ *  sampling gates on the schedule verifier (S015 keeps scope loops
+ *  outermost), the oracle walks fused nests, and tune() re-measures the
+ *  top-k — a full tune→measure→train cycle over FusedSDDMMSpMM. */
+TEST_F(WacoTunerTest, EndToEndFusedSddmmSpmm)
+{
+    CorpusOptions copt;
+    copt.count = 8;
+    copt.minDim = 256;
+    copt.maxDim = 1024;
+    copt.minNnz = 800;
+    copt.maxNnz = 4000;
+    auto corpus = makeCorpus(copt, 53);
+
+    WacoTuner tuner(Algorithm::FusedSDDMMSpMM, MachineConfig::intel24(),
+                    tinyOptions());
+    auto history = tuner.train(corpus);
+    EXPECT_EQ(history.size(), 4u);
+    EXPECT_GT(tuner.graphSchedules().size(), 20u);
+
+    Rng rng(54);
+    auto test_matrix = genDenseBlocks(512, 512, 8, 60, 0.9, rng);
+    auto outcome = tuner.tune(test_matrix);
+    EXPECT_TRUE(outcome.bestMeasured.valid);
+    EXPECT_GT(outcome.bestMeasured.seconds, 0.0);
+    EXPECT_LE(outcome.topK.size(), 5u);
+    EXPECT_GE(outcome.topK.size(), 1u);
+    EXPECT_GT(outcome.costEvaluations, 0u);
+    for (const auto& m : outcome.topKMeasured) {
+        if (m.valid) {
+            EXPECT_LE(outcome.bestMeasured.seconds, m.seconds + 1e-12);
+        }
+    }
+}
+
 TEST_F(WacoTunerTest, EndToEndMttkrp)
 {
     CorpusOptions copt;
