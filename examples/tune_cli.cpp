@@ -39,14 +39,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 
 #include "analysis/loopnest_verifier.hpp"
 #include "analysis/schedule_verifier.hpp"
 #include "codegen/emit.hpp"
+#include "codegen/kernel_backend.hpp"
 #include "core/waco_tuner.hpp"
 #include "data/generators.hpp"
 #include "perfmodel/faulty_oracle.hpp"
+#include "perfmodel/wallclock_backend.hpp"
 #include "service/tuner_service.hpp"
 #include "tensor/mmio.hpp"
 #include "util/logging.hpp"
@@ -69,9 +73,48 @@ usage(const char* argv0)
                  "          [--verify-only] [--schedule KEY] "
                  "[--diag-out FILE]\n"
                  "          [--serve] [--deadline-ms N] [--max-queue N]\n"
-                 "          [--cache-journal FILE]\n",
+                 "          [--cache-journal FILE]\n"
+                 "          [--backend interp|compiled] [--emit-out DIR]\n",
                  argv0);
     std::exit(2);
+}
+
+/** The layouts the schedule chose for the dense INPUT operands, in
+ *  KernelEmitOptions::inputRowMajor order (outputs skipped). */
+std::vector<bool>
+scheduleInputLayouts(const SuperSchedule& s)
+{
+    const AlgorithmInfo& info = algorithmInfo(s.alg);
+    std::vector<bool> layouts;
+    for (std::size_t op = 0; op < info.denseOperands.size(); ++op) {
+        const DenseOperand& d = info.denseOperands[op];
+        if (d.isOutput)
+            continue;
+        layouts.push_back(d.layoutFixed || s.denseRowMajor.size() <= op
+                              ? d.rowMajorDefault
+                              : static_cast<bool>(s.denseRowMajor[op]));
+    }
+    return layouts;
+}
+
+/** Dump both emitters' output for @p s into @p dir: the compilable
+ *  kernel TU (what the JIT backend feeds the C compiler) and the
+ *  TACO-style pretty-printed nest. */
+void
+emitSourcesTo(const std::string& dir, const SuperSchedule& s,
+              const ProblemShape& shape)
+{
+    std::filesystem::create_directories(dir);
+    LoopNest nest = lower(s, shape);
+    KernelEmitOptions kopt;
+    kopt.inputRowMajor = scheduleInputLayouts(s);
+    kopt.cacheKey =
+        kernelCacheKey(nest, kopt.inputRowMajor, kopt.clampSplitTails);
+    const std::string base = dir + "/" + algorithmName(s.alg);
+    std::ofstream(base + "_kernel.c") << emitKernelC(nest, kopt);
+    std::ofstream(base + "_taco.c") << emitC(nest, s.numThreads, s.key());
+    std::printf("wrote %s_kernel.c and %s_taco.c\n", base.c_str(),
+                base.c_str());
 }
 
 } // namespace
@@ -93,6 +136,9 @@ run(int argc, char** argv)
     double deadline_ms = std::numeric_limits<double>::infinity();
     u32 max_queue = 16;
     std::string journal_path;
+    KernelBackendKind backend_kind = KernelBackendKind::Interpreter;
+    bool backend_set = false;
+    std::string emit_dir;
 
     for (int i = 1; i < argc; ++i) {
         auto num = [&](double lo) {
@@ -168,6 +214,18 @@ run(int argc, char** argv)
             if (i + 1 >= argc)
                 usage(argv[0]);
             journal_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--backend")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            if (!kernelBackendFromName(argv[++i], backend_kind)) {
+                std::fprintf(stderr, "unknown backend '%s'\n", argv[i]);
+                usage(argv[0]);
+            }
+            backend_set = true;
+        } else if (!std::strcmp(argv[i], "--emit-out")) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            emit_dir = argv[++i];
         } else if (argv[i][0] != '-' && matrix_path.empty()) {
             matrix_path = argv[i];
         } else {
@@ -181,6 +239,19 @@ run(int argc, char** argv)
         trace::setEnabled(true);
     if (!metrics_path.empty())
         metrics::setEnabled(true);
+
+    if (backend_set) {
+        setActiveKernelBackend(backend_kind);
+        if (backend_kind == KernelBackendKind::Compiled) {
+            if (compiledBackend().compilerAvailable())
+                std::printf("kernel backend: compiled (%s)\n",
+                            compiledBackend().compilerPath().c_str());
+            else
+                std::printf("kernel backend: compiled requested, but no "
+                            "working C compiler was found; executions fall "
+                            "back to the interpreter\n");
+        }
+    }
 
     Rng rng(77);
     SparseMatrix m = !matrix_path.empty()
@@ -208,6 +279,8 @@ run(int argc, char** argv)
             analysis::writeDiagnosticsJson(diags, diag_path);
             std::printf("wrote diagnostics to %s\n", diag_path.c_str());
         }
+        if (!emit_dir.empty() && !diags.hasErrors())
+            emitSourcesTo(emit_dir, s, shape);
         return diags.hasErrors() ? 1 : 0;
     }
 
@@ -237,6 +310,22 @@ run(int argc, char** argv)
         faulty_backend =
             std::make_unique<FaultyOracle>(tuner.oracle(), faults);
         tuner.setMeasurementBackend(*faulty_backend);
+    }
+    std::unique_ptr<WallclockMeasurer> wallclock;
+    if (backend_set) {
+        if (faulty)
+            std::printf("note: --backend measures real wall time; the "
+                        "fault-injection flags shape the analytical oracle "
+                        "and are ignored\n");
+        KernelBackend& engine =
+            backend_kind == KernelBackendKind::Compiled
+                ? static_cast<KernelBackend&>(compiledBackend())
+                : interpreterBackend();
+        wallclock = std::make_unique<WallclockMeasurer>(engine);
+        tuner.setMeasurementBackend(*wallclock);
+        std::printf("measurements: wall-clock execution through the '%s' "
+                    "backend\n",
+                    engine.name().c_str());
     }
 
     CorpusOptions copt;
@@ -363,6 +452,16 @@ run(int argc, char** argv)
                     static_cast<unsigned long long>(st.discarded),
                     outcome.fellBack ? " (fell back to CSR default)" : "");
     }
+    if (backend_set && backend_kind == KernelBackendKind::Compiled) {
+        CompiledBackendStats st = compiledBackend().stats();
+        std::printf("compiled backend: %llu compile(s), %llu cache hit(s), "
+                    "%llu fallback(s)\n",
+                    static_cast<unsigned long long>(st.compiles),
+                    static_cast<unsigned long long>(st.cacheHits),
+                    static_cast<unsigned long long>(st.fallbacks));
+    }
+    if (!emit_dir.empty())
+        emitSourcesTo(emit_dir, outcome.best, shape);
     std::printf("\n--- generated C (TACO-style) ---\n%s",
                 emitC(outcome.best, shape).c_str());
     if (!trace_path.empty()) {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "ir/loopnest.hpp"
 
@@ -29,5 +30,55 @@ std::string emitC(const SuperSchedule& s, const ProblemShape& shape);
  *  non-empty, is echoed into the header comment for provenance. */
 std::string emitC(const LoopNest& nest, u32 numThreads = 48,
                   const std::string& scheduleKey = "");
+
+/** Options for the compilable kernel emitter (emitKernelC). */
+struct KernelEmitOptions
+{
+    /**
+     * Row-major flag per dense INPUT operand of the algorithm, in
+     * algorithmInfo().denseOperands order with output operands skipped
+     * (so SpMM: {B}, SDDMM/MTTKRP: {B, C}, FusedSDDMMSpMM: {B, C, F}).
+     * Empty means every input operand's rowMajorDefault. The generated
+     * code bakes the resulting strides in as literals, so a kernel is
+     * specialized per layout combination (part of the cache key).
+     */
+    std::vector<bool> inputRowMajor;
+    /**
+     * Post-emit pass 1 (vector-tail predicate removal): when the
+     * later-binding half of a split index is a dense/U loop, clamp that
+     * loop's trip count to min(split, extent - outer*split) instead of
+     * guarding every leaf visit — full-width iterations for all but the
+     * ragged last block, no per-iteration predicate. Indices the pass
+     * cannot prove clampable keep the interpreter-equivalent leaf guard.
+     */
+    bool clampSplitTails = true;
+    /** Echoed into the generated header comment for provenance. */
+    std::string cacheKey;
+};
+
+/**
+ * Emit a complete, warning-free (-Wall -Wextra -Werror) C translation
+ * unit implementing @p nest behind the fixed C ABI of
+ * codegen/kernel_cache.hpp:
+ *
+ *   void waco_kernel(const waco_args_t* args,
+ *                    int64_t begin, int64_t end, float* scratch);
+ *
+ * [begin, end) is the outermost loop's range in the interpreter's
+ * chunking domain (coordinates for Dense/U, absolute crd positions for
+ * Compressed), so the host drives parallelism by invoking disjoint
+ * ranges from the thread pool — chunk boundaries, and therefore float
+ * results, are bitwise identical to exec/loopnest_exec.cpp.
+ *
+ * Unlike emitC (the pretty-printer, kept verbatim for readability and
+ * its golden tests), this emitter applies two DietCode-style post-emit
+ * passes: split-tail predicate removal (KernelEmitOptions::
+ * clampSplitTails) and workspace hoisting — the fused nests' `float
+ * w[J]` VLA becomes the caller-provided heap @p scratch parameter,
+ * zero-initialized per scope iteration exactly like the interpreter's
+ * per-chunk private workspace.
+ */
+std::string emitKernelC(const LoopNest& nest,
+                        const KernelEmitOptions& opt = {});
 
 } // namespace waco

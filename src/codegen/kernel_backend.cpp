@@ -1,0 +1,509 @@
+#include "codegen/kernel_backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include "codegen/emit.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+#include "util/trace.hpp"
+
+namespace waco {
+
+namespace {
+
+constexpr u32 kMaxAbiLevels = 8; ///< pos/crd slots in WacoKernelArgs.
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * The tuned optimization set kernels are compiled with when the probe
+ * accepts it. -march=native widens the vector units the emitted dense
+ * loops run on; -ffp-contract=off forbids the FMA contraction that
+ * -march=native would otherwise license in C, because a fused
+ * multiply-add rounds once where the interpreter rounds twice — the
+ * bitwise-identity contract is non-negotiable. Plain wider
+ * vectorization of independent float lanes is IEEE-exact, so it stays.
+ */
+const char* const kTunedOptFlags =
+    "-O3 -march=native -ffp-contract=off -mprefer-vector-width=256";
+/** Tuned set minus the x86-only vector-width cap (the cap matters on
+ *  AVX-512 parts, where 512-bit scalar/vector mixing slows the serial
+ *  reduction chains measurably). */
+const char* const kPortableTunedFlags = "-O3 -march=native -ffp-contract=off";
+/** Conservative fallback when the resolved compiler rejects the tuned
+ *  sets (older toolchains, unusual architectures). */
+const char* const kBaseOptFlags = "-O2";
+
+/** The compile invocation shared by the probe and real kernels. The
+ *  -Werror battery is deliberate: generated code that warns is a bug
+ *  (satellite contract), and a warning-free gate catches emitter drift
+ *  the moment it happens. */
+std::string
+compileCommand(const std::string& compiler, const std::string& optFlags,
+               const std::string& extraFlags, const std::string& src,
+               const std::string& out, const std::string& log)
+{
+    std::string cmd = compiler;
+    if (!optFlags.empty())
+        cmd += " " + optFlags;
+    cmd += " -fPIC -shared -Wall -Wextra -Werror";
+    if (!extraFlags.empty())
+        cmd += " " + extraFlags;
+    cmd += " -x c \"" + src + "\" -o \"" + out + "\" 2>\"" + log + "\"";
+    return cmd;
+}
+
+} // namespace
+
+LoopNestResult
+InterpreterBackend::execute(const LoopNest& nest, const LoopNestArgs& args,
+                            const ParallelConfig& par)
+{
+    return executeLoopNest(nest, args, par);
+}
+
+CompiledBackend::CompiledBackend(CompiledBackendOptions opt)
+    : opt_(std::move(opt)), cache_(opt_.cacheCapacity)
+{
+}
+
+CompiledBackend::~CompiledBackend()
+{
+    // Kernels unlink their own artifacts as they are released; the
+    // per-process directory itself goes away only once it is empty.
+    if (!tempDir_.empty() && opt_.tempDir.empty()) {
+        std::error_code ec;
+        std::filesystem::remove(tempDir_, ec);
+    }
+}
+
+bool
+CompiledBackend::resolveCompilerLocked()
+{
+    if (probed_)
+        return !compiler_.empty();
+    probed_ = true;
+
+    if (opt_.tempDir.empty()) {
+        std::error_code ec;
+        auto dir = std::filesystem::temp_directory_path(ec);
+        if (ec)
+            dir = "/tmp";
+        tempDir_ = (dir / ("waco-kernels-" + std::to_string(getpid())))
+                       .string();
+    } else {
+        tempDir_ = opt_.tempDir;
+    }
+    {
+        std::error_code ec;
+        std::filesystem::create_directories(tempDir_, ec);
+        if (ec) {
+            lastError_ = "cannot create kernel temp dir " + tempDir_;
+            return false;
+        }
+    }
+
+    std::vector<std::string> candidates;
+    if (!opt_.compiler.empty()) {
+        candidates.push_back(opt_.compiler);
+    } else if (const char* env = std::getenv("WACO_CC");
+               env != nullptr && env[0] != '\0') {
+        // An explicit override is trusted verbatim — a bogus WACO_CC is
+        // how the fallback tests force the "no working compiler" rung.
+        candidates.push_back(env);
+    } else {
+        candidates = {"cc", "gcc", "clang"};
+    }
+
+    const std::string src = tempDir_ + "/probe.c";
+    const std::string so = tempDir_ + "/probe.so";
+    const std::string log = tempDir_ + "/probe.log";
+    {
+        std::ofstream out(src);
+        out << "int waco_probe(void) { return 0; }\n";
+    }
+    // Each candidate is probed with the tuned flag set first; a compiler
+    // that rejects it (but works with the conservative set) is still
+    // usable, just without the vector-width upside.
+    for (const std::string& cand : candidates) {
+        bool found = false;
+        for (const char* flags :
+             {kTunedOptFlags, kPortableTunedFlags, kBaseOptFlags}) {
+            int rc = std::system(
+                compileCommand(cand, flags, "", src, so, log).c_str());
+            if (rc == 0) {
+                compiler_ = cand;
+                optFlags_ = flags;
+                found = true;
+                break;
+            }
+            lastError_ = readFile(log);
+        }
+        if (found)
+            break;
+    }
+    std::remove(src.c_str());
+    std::remove(so.c_str());
+    std::remove(log.c_str());
+    return !compiler_.empty();
+}
+
+bool
+CompiledBackend::compilerAvailable()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return resolveCompilerLocked();
+}
+
+std::string
+CompiledBackend::compilerPath()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    resolveCompilerLocked();
+    return compiler_;
+}
+
+std::shared_ptr<CompiledKernel>
+CompiledBackend::kernelFor(const LoopNest& nest,
+                           const std::vector<bool>& inputRowMajor)
+{
+    if (nest.numLevels() > kMaxAbiLevels)
+        return nullptr; // cannot be expressed in the fixed ABI
+    const std::string key =
+        kernelCacheKey(nest, inputRowMajor, opt_.clampSplitTails);
+    if (auto k = cache_.get(key)) {
+        std::lock_guard<std::mutex> slock(statsMu_);
+        ++stats_.cacheHits;
+        return k;
+    }
+    {
+        std::lock_guard<std::mutex> slock(statsMu_);
+        ++stats_.cacheMisses;
+    }
+
+    // Serialize compilation: a racing execution of the same nest waits
+    // here, then finds the freshly inserted kernel instead of invoking
+    // the compiler a second time.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto k = cache_.get(key))
+        return k;
+    if (!resolveCompilerLocked())
+        return nullptr;
+    if (consecutiveFailures_ >= opt_.maxConsecutiveFailures)
+        return nullptr; // compiler quarantined for this backend
+
+    WACO_SPAN("codegen.compile");
+    KernelEmitOptions eo;
+    eo.inputRowMajor = inputRowMajor;
+    eo.clampSplitTails = opt_.clampSplitTails;
+    eo.cacheKey = key;
+    const std::string source = emitKernelC(nest, eo);
+
+    const std::string stem =
+        tempDir_ + "/k" + std::to_string(fileCounter_++);
+    const std::string src = stem + ".c";
+    const std::string so = stem + ".so";
+    const std::string log = stem + ".log";
+    {
+        std::ofstream out(src);
+        out << source;
+    }
+
+    auto fail = [&](const std::string& why) -> std::shared_ptr<CompiledKernel> {
+        lastError_ = why;
+        ++consecutiveFailures_;
+        std::remove(so.c_str());
+        std::remove(log.c_str());
+        if (!opt_.keepArtifacts)
+            std::remove(src.c_str());
+        {
+            std::lock_guard<std::mutex> slock(statsMu_);
+            ++stats_.compileFailures;
+        }
+        WACO_COUNT("codegen.compile_failures", 1);
+        return nullptr;
+    };
+
+    int rc = std::system(
+        compileCommand(compiler_, optFlags_, opt_.extraFlags, src, so, log)
+            .c_str());
+    if (rc != 0)
+        return fail("kernel compile failed:\n" + readFile(log));
+    std::remove(log.c_str());
+
+    void* handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (handle == nullptr) {
+        const char* err = dlerror();
+        return fail(std::string("dlopen failed: ") +
+                    (err != nullptr ? err : "unknown"));
+    }
+    void* sym = dlsym(handle, "waco_kernel");
+    if (sym == nullptr) {
+        dlclose(handle);
+        return fail("dlsym: waco_kernel entrypoint missing");
+    }
+
+    consecutiveFailures_ = 0;
+    {
+        std::lock_guard<std::mutex> slock(statsMu_);
+        ++stats_.compiles;
+    }
+    WACO_COUNT("codegen.compiles", 1);
+    auto kernel = std::make_shared<CompiledKernel>(
+        handle, reinterpret_cast<WacoKernelFn>(sym), so, src,
+        opt_.keepArtifacts);
+    cache_.put(key, kernel);
+    return kernel;
+}
+
+LoopNestResult
+CompiledBackend::execute(const LoopNest& nest, const LoopNestArgs& args,
+                         const ParallelConfig& par)
+{
+    auto kernel = kernelFor(nest, inputLayoutsOf(args, nest.alg()));
+    if (kernel == nullptr) {
+        {
+            std::lock_guard<std::mutex> slock(statsMu_);
+            ++stats_.fallbacks;
+        }
+        WACO_COUNT("codegen.fallbacks", 1);
+        return executeLoopNest(nest, args, par);
+    }
+
+    exec_detail::checkLoopNestArgs(nest, args);
+    {
+        std::lock_guard<std::mutex> slock(statsMu_);
+        ++stats_.launches;
+    }
+    WACO_COUNT("codegen.launches", 1);
+
+    const HierSparseTensor& a = *args.a;
+    const auto& ext = nest.shape().indexExtent;
+
+    WacoKernelArgs ka;
+    for (u32 l = 0; l < nest.numLevels(); ++l) {
+        ka.pos[l] = a.levels()[l].pos.data();
+        ka.crd[l] = a.levels()[l].crd.data();
+    }
+    ka.vals = a.values().data();
+
+    LoopNestResult r;
+    std::vector<float> dvals; // SDDMM per-position accumulators
+    switch (nest.alg()) {
+      case Algorithm::SpMV:
+        ka.b = args.vecB->data().data();
+        r.vec = DenseVector(ext[0], 0.0f);
+        ka.out = r.vec.data().data();
+        break;
+      case Algorithm::SpMM:
+        ka.b = args.matB->data().data();
+        r.mat = DenseMatrix(ext[0], ext[2], Layout::RowMajor, 0.0f);
+        ka.out = r.mat.data().data();
+        break;
+      case Algorithm::SDDMM:
+        ka.b = args.matB->data().data();
+        ka.c = args.matC->data().data();
+        dvals.assign(a.storedValues(), 0.0f);
+        ka.out = dvals.data();
+        break;
+      case Algorithm::MTTKRP:
+        ka.b = args.matB->data().data();
+        ka.c = args.matC->data().data();
+        r.mat = DenseMatrix(ext[0], ext[3], Layout::RowMajor, 0.0f);
+        ka.out = r.mat.data().data();
+        break;
+      case Algorithm::FusedSDDMMSpMM:
+        ka.b = args.matB->data().data();
+        ka.c = args.matC->data().data();
+        ka.f = args.matF->data().data();
+        r.mat = DenseMatrix(ext[0], ext[3], Layout::RowMajor, 0.0f);
+        ka.out = r.mat.data().data();
+        break;
+    }
+
+    const WacoKernelFn fn = kernel->fn();
+    const u32 wsExtent = nest.fused() ? nest.workspace().extent : 0;
+    auto runRange = [&](u64 b, u64 e) {
+        if (wsExtent > 0) {
+            // Chunk-private workspace, exactly like the interpreter's.
+            std::vector<float> scratch(wsExtent, 0.0f);
+            fn(&ka, static_cast<std::int64_t>(b),
+               static_cast<std::int64_t>(e), scratch.data());
+        } else {
+            fn(&ka, static_cast<std::int64_t>(b),
+               static_cast<std::int64_t>(e), nullptr);
+        }
+    };
+
+    // Mirror the interpreter's chunking decision byte for byte: same
+    // domain, same safety rule, same parallelFor chunk boundaries.
+    auto dom = exec_detail::topLoopDomain(nest, a);
+    if (dom.second > dom.first) {
+        u32 threads = std::max<u32>(1, par.threads);
+        bool safe = exec_detail::topLoopParallelizable(nest);
+        if (threads == 1 || !safe) {
+            runRange(dom.first, dom.second);
+        } else {
+            u64 chunk = std::max<u32>(1, par.chunk);
+            globalPool().ensureWorkers(
+                std::min(threads, ThreadPool::kMaxWorkers + 1) - 1);
+            globalPool().parallelFor(
+                dom.second - dom.first, chunk, threads,
+                [&](u64 b, u64 e) {
+                    runRange(dom.first + b, dom.first + e);
+                });
+        }
+    }
+
+    if (nest.alg() == Algorithm::SDDMM)
+        r.sparse = exec_detail::assembleSddmmOutput(a, dvals);
+    return r;
+}
+
+CompiledBackendStats
+CompiledBackend::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMu_);
+    return stats_;
+}
+
+std::string
+CompiledBackend::lastError() const
+{
+    // lastError_ is written under mu_; a torn read here would only
+    // affect a diagnostic string, but take the lock for cleanliness.
+    std::lock_guard<std::mutex> lock(
+        const_cast<CompiledBackend*>(this)->mu_);
+    return lastError_;
+}
+
+std::string
+kernelCacheKey(const LoopNest& nest, const std::vector<bool>& inputRowMajor,
+               bool clampSplitTails)
+{
+    std::ostringstream os;
+    os << algorithmName(nest.alg()) << "|e";
+    for (u32 i = 0; i < 4; ++i)
+        os << (i ? "," : "") << nest.shape().indexExtent[i];
+    os << "|s";
+    for (u32 i = 0; i < 4; ++i)
+        os << (i ? "," : "") << nest.splitOf(i);
+    os << "|L";
+    for (bool rm : inputRowMajor)
+        os << (rm ? 'r' : 'c');
+    os << "|F";
+    for (u32 l = 0; l < nest.numLevels(); ++l)
+        os << (nest.levelFormat(l) == LevelFormat::Uncompressed ? 'U' : 'C')
+           << nest.levelSlot(l) << (nest.levelConcordant(l) ? 't' : 'd');
+    auto walk = [&](const std::vector<LoopNode>& loops) {
+        for (const LoopNode& n : loops) {
+            os << (n.kind == LoopKind::Dense ? 'D' : 'S') << n.slot << 'x'
+               << n.extent << 'l' << n.level;
+            for (const LocateStep& ls : n.locates)
+                os << "(" << ls.level << "," << ls.slot << ","
+                   << (ls.binarySearch ? 'b' : 'u') << ")";
+            os << ';';
+        }
+    };
+    os << "|N:";
+    walk(nest.loops());
+    if (nest.fused()) {
+        os << "|C:";
+        walk(nest.consumerLoops());
+        const WorkspaceDecl& ws = nest.workspace();
+        os << "|W" << ws.index << 'x' << ws.extent << '@' << ws.scopeDepth;
+    }
+    os << "|v" << nest.leaf().vectorIndex;
+    if (nest.fused())
+        os << "," << nest.consumerLeaf().vectorIndex;
+    os << "|p" << (clampSplitTails ? 1 : 0);
+    return os.str();
+}
+
+std::vector<bool>
+inputLayoutsOf(const LoopNestArgs& args, Algorithm alg)
+{
+    auto rm = [](const DenseMatrix* m) {
+        return m == nullptr || m->layout() == Layout::RowMajor;
+    };
+    switch (alg) {
+      case Algorithm::SpMV:
+        return {}; // the vector operand has no layout
+      case Algorithm::SpMM:
+        return {rm(args.matB)};
+      case Algorithm::SDDMM:
+      case Algorithm::MTTKRP:
+        return {rm(args.matB), rm(args.matC)};
+      case Algorithm::FusedSDDMMSpMM:
+        return {rm(args.matB), rm(args.matC), rm(args.matF)};
+    }
+    return {};
+}
+
+bool
+kernelBackendFromName(const std::string& name, KernelBackendKind& out)
+{
+    if (name == "interp" || name == "interpreter") {
+        out = KernelBackendKind::Interpreter;
+        return true;
+    }
+    if (name == "compiled" || name == "jit") {
+        out = KernelBackendKind::Compiled;
+        return true;
+    }
+    return false;
+}
+
+KernelBackend&
+interpreterBackend()
+{
+    static InterpreterBackend backend;
+    return backend;
+}
+
+CompiledBackend&
+compiledBackend()
+{
+    static CompiledBackend backend;
+    return backend;
+}
+
+namespace {
+std::atomic<KernelBackendKind> g_active{KernelBackendKind::Interpreter};
+} // namespace
+
+void
+setActiveKernelBackend(KernelBackendKind kind)
+{
+    g_active.store(kind, std::memory_order_relaxed);
+}
+
+KernelBackendKind
+activeKernelBackendKind()
+{
+    return g_active.load(std::memory_order_relaxed);
+}
+
+KernelBackend&
+activeKernelBackend()
+{
+    return activeKernelBackendKind() == KernelBackendKind::Compiled
+               ? static_cast<KernelBackend&>(compiledBackend())
+               : interpreterBackend();
+}
+
+} // namespace waco

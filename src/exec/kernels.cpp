@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "codegen/kernel_backend.hpp"
 #include "exec/loopnest_exec.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -19,7 +20,7 @@ spmvHier(const HierSparseTensor& a, const DenseVector& b)
     LoopNestArgs args;
     args.a = &a;
     args.vecB = &b;
-    return executeLoopNest(lowerStorageOrder(Algorithm::SpMV, a.descriptor()),
+    return activeKernelBackend().execute(lowerStorageOrder(Algorithm::SpMV, a.descriptor()),
                            args)
         .vec;
 }
@@ -31,7 +32,7 @@ spmmHier(const HierSparseTensor& a, const DenseMatrix& b)
     LoopNestArgs args;
     args.a = &a;
     args.matB = &b;
-    return executeLoopNest(lowerStorageOrder(Algorithm::SpMM, a.descriptor(),
+    return activeKernelBackend().execute(lowerStorageOrder(Algorithm::SpMM, a.descriptor(),
                                              static_cast<u32>(b.cols())),
                            args)
         .mat;
@@ -46,7 +47,7 @@ sddmmHier(const HierSparseTensor& a, const DenseMatrix& b,
     args.a = &a;
     args.matB = &b;
     args.matC = &c;
-    return executeLoopNest(lowerStorageOrder(Algorithm::SDDMM, a.descriptor(),
+    return activeKernelBackend().execute(lowerStorageOrder(Algorithm::SDDMM, a.descriptor(),
                                              static_cast<u32>(b.cols())),
                            args)
         .sparse;
@@ -62,7 +63,7 @@ mttkrpHier(const HierSparseTensor& a, const DenseMatrix& b,
     args.a = &a;
     args.matB = &b;
     args.matC = &c;
-    return executeLoopNest(lowerStorageOrder(Algorithm::MTTKRP,
+    return activeKernelBackend().execute(lowerStorageOrder(Algorithm::MTTKRP,
                                              a.descriptor(),
                                              static_cast<u32>(b.cols())),
                            args)
@@ -88,7 +89,7 @@ fusedSddmmSpmmHier(const HierSparseTensor& a, const DenseMatrix& b,
     args.matB = &b;
     args.matC = &c;
     args.matF = &f;
-    return executeLoopNest(lower(s, shape), args).mat;
+    return activeKernelBackend().execute(lower(s, shape), args).mat;
 }
 
 namespace {

@@ -566,12 +566,97 @@ checkTensorMatchesNest(const LoopNest& nest, const HierSparseTensor& a)
 
 } // namespace
 
+namespace exec_detail {
+
+void
+checkLoopNestArgs(const LoopNest& nest, const LoopNestArgs& args)
+{
+    fatalIf(args.a == nullptr, "executeLoopNest: missing sparse operand");
+    checkTensorMatchesNest(nest, *args.a);
+    const auto& ext = nest.shape().indexExtent;
+    switch (nest.alg()) {
+      case Algorithm::SpMV:
+        fatalIf(args.vecB == nullptr || args.vecB->size() != ext[1],
+                "SpMV operand size mismatch");
+        break;
+      case Algorithm::SpMM:
+        fatalIf(args.matB == nullptr || args.matB->rows() != ext[1] ||
+                    args.matB->cols() != ext[2],
+                "SpMM operand shape mismatch");
+        break;
+      case Algorithm::SDDMM:
+        fatalIf(args.matB == nullptr || args.matC == nullptr ||
+                    args.matB->rows() != ext[0] ||
+                    args.matB->cols() != ext[2] ||
+                    args.matC->rows() != ext[2] ||
+                    args.matC->cols() != ext[1],
+                "SDDMM operand shape mismatch");
+        break;
+      case Algorithm::MTTKRP:
+        fatalIf(args.matB == nullptr || args.matC == nullptr ||
+                    args.matB->rows() != ext[1] ||
+                    args.matC->rows() != ext[2] ||
+                    args.matB->cols() != ext[3] ||
+                    args.matC->cols() != ext[3],
+                "MTTKRP operand shape mismatch");
+        break;
+      case Algorithm::FusedSDDMMSpMM:
+        fatalIf(args.matB == nullptr || args.matC == nullptr ||
+                    args.matF == nullptr || args.matB->rows() != ext[0] ||
+                    args.matB->cols() != ext[2] ||
+                    args.matC->rows() != ext[2] ||
+                    args.matC->cols() != ext[1] ||
+                    args.matF->rows() != ext[1] ||
+                    args.matF->cols() != ext[3],
+                "FusedSDDMMSpMM operand shape mismatch");
+        break;
+    }
+}
+
+std::pair<u64, u64>
+topLoopDomain(const LoopNest& nest, const HierSparseTensor& a)
+{
+    const LoopNode& top = nest.loops().front();
+    if (top.kind == LoopKind::Dense)
+        return {0, top.extent};
+    const BuiltLevel& bl = a.levels()[top.level];
+    if (bl.fmt == LevelFormat::Uncompressed)
+        return {0, bl.extent};
+    return {bl.pos[0], bl.pos[1]}; // top Sparse node is always level 0
+}
+
+bool
+topLoopParallelizable(const LoopNest& nest)
+{
+    if (nest.fused())
+        return true; // the prefix leads with the (non-reducing) scope index
+    const auto& info = algorithmInfo(nest.alg());
+    return !info.isReduction[slotIndex(nest.loops().front().slot)];
+}
+
+SparseMatrix
+assembleSddmmOutput(const HierSparseTensor& a, const std::vector<float>& dvals)
+{
+    // Out-of-bounds padding and explicit stored zeros are dropped,
+    // matching the dense-block semantics of the hierarchy builder.
+    std::vector<Triplet> out;
+    u64 p = 0;
+    a.forEachStored([&](const std::array<u32, 3>& x, float v, bool ok) {
+        if (ok && v != 0.0f)
+            out.push_back({x[0], x[1], dvals[p]});
+        ++p;
+    });
+    return SparseMatrix(a.descriptor().dims()[0], a.descriptor().dims()[1],
+                        std::move(out));
+}
+
+} // namespace exec_detail
+
 LoopNestResult
 executeLoopNest(const LoopNest& nest, const LoopNestArgs& args,
                 const ParallelConfig& par)
 {
     g_exec_count.fetch_add(1, std::memory_order_relaxed);
-    fatalIf(args.a == nullptr, "executeLoopNest: missing sparse operand");
 #ifndef NDEBUG
     // Nests from lower() verified at lowering time; this guards nests
     // assembled through LoopNest::fromRaw from reaching the interpreter.
@@ -581,25 +666,20 @@ executeLoopNest(const LoopNest& nest, const LoopNestArgs& args,
                 "executeLoopNest: invalid loop nest:\n" + diags.format());
     }
 #endif
+    exec_detail::checkLoopNestArgs(nest, args);
     const HierSparseTensor& a = *args.a;
-    checkTensorMatchesNest(nest, a);
     const auto& ext = nest.shape().indexExtent;
     const float* av = a.values().data();
 
     LoopNestResult r;
     switch (nest.alg()) {
       case Algorithm::SpMV: {
-        fatalIf(args.vecB == nullptr || args.vecB->size() != ext[1],
-                "SpMV operand size mismatch");
         r.vec = DenseVector(ext[0], 0.0f);
         SpMVLeaf leaf{av, args.vecB->data().data(), r.vec.data().data()};
         runNest(nest, a, leaf, par);
         break;
       }
       case Algorithm::SpMM: {
-        fatalIf(args.matB == nullptr || args.matB->rows() != ext[1] ||
-                    args.matB->cols() != ext[2],
-                "SpMM operand shape mismatch");
         r.mat = DenseMatrix(ext[0], ext[2], Layout::RowMajor, 0.0f);
         SpMMLeaf leaf{av,
                       args.matB->data().data(),
@@ -611,12 +691,6 @@ executeLoopNest(const LoopNest& nest, const LoopNestArgs& args,
         break;
       }
       case Algorithm::SDDMM: {
-        fatalIf(args.matB == nullptr || args.matC == nullptr ||
-                    args.matB->rows() != ext[0] ||
-                    args.matB->cols() != ext[2] ||
-                    args.matC->rows() != ext[2] ||
-                    args.matC->cols() != ext[1],
-                "SDDMM operand shape mismatch");
         std::vector<float> dvals(a.storedValues(), 0.0f);
         SDDMMLeaf leaf{av,
                        args.matB->data().data(),
@@ -626,28 +700,10 @@ executeLoopNest(const LoopNest& nest, const LoopNestArgs& args,
                        stridesOf(*args.matC),
                        ext[2]};
         runNest(nest, a, leaf, par);
-        // Serial storage-order pass assembling D on A's sparsity pattern
-        // (out-of-bounds padding and explicit stored zeros are dropped,
-        // matching the dense-block semantics of the hierarchy builder).
-        std::vector<Triplet> out;
-        u64 p = 0;
-        a.forEachStored(
-            [&](const std::array<u32, 3>& x, float v, bool ok) {
-                if (ok && v != 0.0f)
-                    out.push_back({x[0], x[1], dvals[p]});
-                ++p;
-            });
-        r.sparse = SparseMatrix(a.descriptor().dims()[0],
-                                a.descriptor().dims()[1], std::move(out));
+        r.sparse = exec_detail::assembleSddmmOutput(a, dvals);
         break;
       }
       case Algorithm::MTTKRP: {
-        fatalIf(args.matB == nullptr || args.matC == nullptr ||
-                    args.matB->rows() != ext[1] ||
-                    args.matC->rows() != ext[2] ||
-                    args.matB->cols() != ext[3] ||
-                    args.matC->cols() != ext[3],
-                "MTTKRP operand shape mismatch");
         r.mat = DenseMatrix(ext[0], ext[3], Layout::RowMajor, 0.0f);
         MTTKRPLeaf leaf{av,
                         args.matB->data().data(),
@@ -662,14 +718,6 @@ executeLoopNest(const LoopNest& nest, const LoopNestArgs& args,
       }
       case Algorithm::FusedSDDMMSpMM: {
         // E[i,m] = Σ_j A[i,j] · (Σ_k B[i,k]·C[k,j]) · F[j,m] via w[j].
-        fatalIf(args.matB == nullptr || args.matC == nullptr ||
-                    args.matF == nullptr || args.matB->rows() != ext[0] ||
-                    args.matB->cols() != ext[2] ||
-                    args.matC->rows() != ext[2] ||
-                    args.matC->cols() != ext[1] ||
-                    args.matF->rows() != ext[1] ||
-                    args.matF->cols() != ext[3],
-                "FusedSDDMMSpMM operand shape mismatch");
         r.mat = DenseMatrix(ext[0], ext[3], Layout::RowMajor, 0.0f);
         FusedProducerLeaf pleaf{args.matB->data().data(),
                                 args.matC->data().data(),

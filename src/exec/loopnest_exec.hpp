@@ -32,6 +32,9 @@
  */
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "exec/kernels.hpp"
 #include "ir/loopnest.hpp"
 
@@ -67,5 +70,34 @@ LoopNestResult executeLoopNest(const LoopNest& nest, const LoopNestArgs& args,
 /** Process-wide count of executeLoopNest invocations — lets tests assert
  *  that every kernel entry point dispatches through the generic executor. */
 u64 loopNestExecutionCount();
+
+// Pieces of the interpreter that any alternative execution engine (the
+// JIT'd CompiledBackend in codegen/kernel_backend.hpp) must share so its
+// argument contract, chunking domain, and output assembly can never
+// drift from the interpreter's.
+namespace exec_detail {
+
+/** Validate that @p args carries the operands @p nest's algorithm needs
+ *  with matching shapes, and that the tensor physically realizes the
+ *  nest's format half. Fatal/panic on mismatch (executeLoopNest's exact
+ *  contract). */
+void checkLoopNestArgs(const LoopNest& nest, const LoopNestArgs& args);
+
+/** Chunking domain of the outermost loop: coordinates for a Dense/U top
+ *  node, absolute crd positions for a Compressed one. */
+std::pair<u64, u64> topLoopDomain(const LoopNest& nest,
+                                  const HierSparseTensor& a);
+
+/** True when chunks of the top loop write disjoint output slices (the
+ *  top index is not a reduction index; fused nests always qualify). */
+bool topLoopParallelizable(const LoopNest& nest);
+
+/** Serial storage-order pass assembling SDDMM's sparse output on A's
+ *  pattern from per-stored-position accumulators (padding and explicit
+ *  stored zeros dropped). */
+SparseMatrix assembleSddmmOutput(const HierSparseTensor& a,
+                                 const std::vector<float>& dvals);
+
+} // namespace exec_detail
 
 } // namespace waco

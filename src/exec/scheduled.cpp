@@ -1,5 +1,6 @@
 #include "exec/scheduled.hpp"
 
+#include "codegen/kernel_backend.hpp"
 #include "exec/loopnest_exec.hpp"
 
 namespace waco {
@@ -26,7 +27,7 @@ spmvScheduled(const HierSparseTensor& a, const DenseVector& b,
     LoopNestArgs args;
     args.a = &a;
     args.vecB = &b;
-    return executeLoopNest(lowerStorageOrder(Algorithm::SpMV, a.descriptor()),
+    return activeKernelBackend().execute(lowerStorageOrder(Algorithm::SpMV, a.descriptor()),
                            args, par)
         .vec;
 }
@@ -39,7 +40,7 @@ spmmScheduled(const HierSparseTensor& a, const DenseMatrix& b,
     LoopNestArgs args;
     args.a = &a;
     args.matB = &b;
-    return executeLoopNest(lowerStorageOrder(Algorithm::SpMM, a.descriptor(),
+    return activeKernelBackend().execute(lowerStorageOrder(Algorithm::SpMM, a.descriptor(),
                                              static_cast<u32>(b.cols())),
                            args, par)
         .mat;
@@ -54,7 +55,7 @@ sddmmScheduled(const HierSparseTensor& a, const DenseMatrix& b,
     args.a = &a;
     args.matB = &b;
     args.matC = &c;
-    return executeLoopNest(lowerStorageOrder(Algorithm::SDDMM, a.descriptor(),
+    return activeKernelBackend().execute(lowerStorageOrder(Algorithm::SDDMM, a.descriptor(),
                                              static_cast<u32>(b.cols())),
                            args, par)
         .sparse;
@@ -70,7 +71,7 @@ mttkrpScheduled(const HierSparseTensor& a, const DenseMatrix& b,
     args.a = &a;
     args.matB = &b;
     args.matC = &c;
-    return executeLoopNest(lowerStorageOrder(Algorithm::MTTKRP,
+    return activeKernelBackend().execute(lowerStorageOrder(Algorithm::MTTKRP,
                                              a.descriptor(),
                                              static_cast<u32>(b.cols())),
                            args, par)
@@ -95,7 +96,7 @@ fusedSddmmSpmmScheduled(const HierSparseTensor& a, const DenseMatrix& b,
     args.matB = &b;
     args.matC = &c;
     args.matF = &f;
-    return executeLoopNest(lower(s, shape), args, par).mat;
+    return activeKernelBackend().execute(lower(s, shape), args, par).mat;
 }
 
 } // namespace waco

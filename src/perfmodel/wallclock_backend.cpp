@@ -1,0 +1,160 @@
+#include "perfmodel/wallclock_backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace waco {
+
+namespace {
+
+/** Deterministic integer-valued fill: measurements must not depend on
+ *  which measure() call happened first. */
+void
+fillDeterministic(std::vector<float>& data, u64 seed)
+{
+    Rng rng(seed);
+    for (auto& x : data)
+        x = static_cast<float>(rng.uniformInt(1, 3));
+}
+
+DenseMatrix
+makeOperand(u64 rows, u64 cols, bool rowMajor, u64 seed)
+{
+    DenseMatrix m(rows, cols,
+                  rowMajor ? Layout::RowMajor : Layout::ColMajor);
+    fillDeterministic(m.data(), seed);
+    return m;
+}
+
+/** The layout the schedule chose for dense operand @p op (paper-fixed
+ *  layouts override the schedule bit, matching the cost model). */
+bool
+operandRowMajor(const AlgorithmInfo& info, const SuperSchedule& s,
+                std::size_t op)
+{
+    const DenseOperand& d = info.denseOperands[op];
+    if (d.layoutFixed || s.denseRowMajor.size() <= op)
+        return d.rowMajorDefault;
+    return s.denseRowMajor[op];
+}
+
+Measurement
+invalid(const std::string& why)
+{
+    Measurement r;
+    r.valid = false;
+    r.seconds = std::numeric_limits<double>::infinity();
+    r.invalidReason = why;
+    return r;
+}
+
+} // namespace
+
+Measurement
+WallclockMeasurer::run(const HierSparseTensor& t, const ProblemShape& shape,
+                       const SuperSchedule& s) const
+{
+    const AlgorithmInfo& info = algorithmInfo(s.alg);
+    const auto& ext = shape.indexExtent;
+    LoopNest nest = lower(s, shape);
+
+    // Dense operands, sized by the einsum and laid out as scheduled.
+    LoopNestArgs args;
+    args.a = &t;
+    DenseVector vecB;
+    DenseMatrix matB, matC, matF;
+    switch (s.alg) {
+      case Algorithm::SpMV:
+        vecB = DenseVector(ext[1]);
+        fillDeterministic(vecB.data(), 1);
+        args.vecB = &vecB;
+        break;
+      case Algorithm::SpMM:
+        matB = makeOperand(ext[1], ext[2], operandRowMajor(info, s, 0), 1);
+        args.matB = &matB;
+        break;
+      case Algorithm::SDDMM:
+        matB = makeOperand(ext[0], ext[2], operandRowMajor(info, s, 0), 1);
+        matC = makeOperand(ext[2], ext[1], operandRowMajor(info, s, 1), 2);
+        args.matB = &matB;
+        args.matC = &matC;
+        break;
+      case Algorithm::MTTKRP:
+        matB = makeOperand(ext[1], ext[3], operandRowMajor(info, s, 0), 1);
+        matC = makeOperand(ext[2], ext[3], operandRowMajor(info, s, 1), 2);
+        args.matB = &matB;
+        args.matC = &matC;
+        break;
+      case Algorithm::FusedSDDMMSpMM:
+        matB = makeOperand(ext[0], ext[2], operandRowMajor(info, s, 0), 1);
+        matC = makeOperand(ext[2], ext[1], operandRowMajor(info, s, 1), 2);
+        matF = makeOperand(ext[1], ext[3], operandRowMajor(info, s, 2), 3);
+        args.matB = &matB;
+        args.matC = &matC;
+        args.matF = &matF;
+        break;
+    }
+
+    u32 cap = opt_.maxThreads != 0
+                  ? opt_.maxThreads
+                  : std::max(1u, std::thread::hardware_concurrency());
+    ParallelConfig par{std::min(std::max(1u, s.numThreads), cap),
+                       std::max(1u, s.ompChunk)};
+
+    // Warm-up run: pays JIT compilation / cache population and faults the
+    // operands in, so the timed rounds measure steady-state execution.
+    exec_.execute(nest, args, par);
+
+    std::vector<double> rounds;
+    rounds.reserve(std::max(1u, opt_.rounds));
+    for (u32 r = 0; r < std::max(1u, opt_.rounds); ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        exec_.execute(nest, args, par);
+        auto t1 = std::chrono::steady_clock::now();
+        rounds.push_back(std::chrono::duration<double>(t1 - t0).count());
+    }
+    std::sort(rounds.begin(), rounds.end());
+
+    Measurement r;
+    r.seconds = rounds[rounds.size() / 2];
+    r.storedValues = t.storedValues();
+    r.formatBytes = t.bytes();
+    WACO_COUNT("wallclock.measurements", 1);
+    return r;
+}
+
+Measurement
+WallclockMeasurer::measure(const SparseMatrix& m, const ProblemShape& shape,
+                           const SuperSchedule& s) const
+{
+    measurements_.fetch_add(1);
+    try {
+        auto t = HierSparseTensor::build(formatOf(s, shape), m,
+                                         opt_.maxFormatBytes);
+        return run(t, shape, s);
+    } catch (const FormatTooLarge& e) {
+        return invalid(e.what());
+    }
+}
+
+Measurement
+WallclockMeasurer::measure(const Sparse3Tensor& t3, const ProblemShape& shape,
+                           const SuperSchedule& s) const
+{
+    measurements_.fetch_add(1);
+    try {
+        auto t = HierSparseTensor::build(formatOf(s, shape), t3,
+                                         opt_.maxFormatBytes);
+        return run(t, shape, s);
+    } catch (const FormatTooLarge& e) {
+        return invalid(e.what());
+    }
+}
+
+} // namespace waco

@@ -26,6 +26,7 @@
 
 #include "analysis/loopnest_verifier.hpp"
 #include "codegen/emit.hpp"
+#include "codegen/kernel_backend.hpp"
 #include "exec/loopnest_exec.hpp"
 #include "exec/reference.hpp"
 #include "exec/scheduled.hpp"
@@ -116,6 +117,38 @@ parFor(u32 n)
     }
 }
 
+/**
+ * Compiled-backend differential: re-run @p nest through the JIT backend
+ * and demand the result be bitwise identical to the interpreter's.
+ * Sampled (every 4th triple) to bound compiler invocations; silently a
+ * no-op on hosts without a system C compiler (the codegen-label tests
+ * cover the skip reporting).
+ */
+void
+expectCompiledBitMatches(const LoopNest& nest, const LoopNestArgs& args,
+                         const ParallelConfig& par,
+                         const LoopNestResult& want, const std::string& key)
+{
+    static const bool available = compiledBackend().compilerAvailable();
+    if (!available)
+        return;
+    auto before = compiledBackend().stats().fallbacks;
+    auto got = compiledBackend().execute(nest, args, par);
+    EXPECT_EQ(compiledBackend().stats().fallbacks, before)
+        << "compiled backend fell back to the interpreter for " << key
+        << "\n" << compiledBackend().lastError();
+
+    ASSERT_EQ(want.vec.size(), got.vec.size()) << key;
+    for (u64 i = 0; i < want.vec.size(); ++i)
+        EXPECT_EQ(want.vec[i], got.vec[i]) << key;
+    ASSERT_EQ(want.mat.data().size(), got.mat.data().size()) << key;
+    for (u64 i = 0; i < want.mat.data().size(); ++i)
+        EXPECT_EQ(want.mat.data()[i], got.mat.data()[i]) << key;
+    ASSERT_EQ(want.sparse.nnz(), got.sparse.nnz()) << key;
+    for (u64 n = 0; n < want.sparse.nnz(); ++n)
+        EXPECT_EQ(want.sparse.values()[n], got.sparse.values()[n]) << key;
+}
+
 struct FuzzStats
 {
     u32 executed = 0;
@@ -188,12 +221,16 @@ fuzz2d(Algorithm alg, u32 target, u64 seed)
             args.vecB = &vb;
             auto got = executeLoopNest(nest, args, par);
             EXPECT_EQ(0.0, maxAbsDiff(want_v, got.vec)) << s.key();
+            if (st.executed % 4 == 0)
+                expectCompiledBitMatches(nest, args, par, got, s.key());
             break;
           }
           case Algorithm::SpMM: {
             args.matB = &spmm_b;
             auto got = executeLoopNest(nest, args, par);
             EXPECT_EQ(0.0, maxAbsDiff(want_m, got.mat)) << s.key();
+            if (st.executed % 4 == 0)
+                expectCompiledBitMatches(nest, args, par, got, s.key());
             break;
           }
           default: {
@@ -207,6 +244,8 @@ fuzz2d(Algorithm alg, u32 target, u64 seed)
                         << s.key();
                 }
             }
+            if (st.executed % 4 == 0)
+                expectCompiledBitMatches(nest, args, par, got, s.key());
             break;
           }
         }
@@ -260,6 +299,9 @@ fuzzMttkrp(u32 target, u64 seed)
         args.matC = &c;
         auto got = executeLoopNest(nest, args, parFor(st.executed));
         EXPECT_EQ(0.0, maxAbsDiff(want, got.mat)) << s.key();
+        if (st.executed % 4 == 0)
+            expectCompiledBitMatches(nest, args, parFor(st.executed), got,
+                                     s.key());
         ++st.executed;
     }
     EXPECT_EQ(st.executed, target) << "too many sampled formats skipped";
@@ -345,6 +387,9 @@ fuzzFused(u32 target, u64 seed)
         args.matF = &f;
         auto got = executeLoopNest(nest, args, parFor(st.executed));
         EXPECT_EQ(0.0, maxAbsDiff(want, got.mat)) << s.key();
+        if (st.executed % 4 == 0)
+            expectCompiledBitMatches(nest, args, parFor(st.executed), got,
+                                     s.key());
         ++st.executed;
     }
     EXPECT_EQ(st.executed, target) << "too many sampled formats skipped";
