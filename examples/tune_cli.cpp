@@ -11,11 +11,17 @@
  * runs with gradient clipping + divergence rollback.
  *
  * --verify-only runs the static analysis pipeline (schedule verifier,
- * lowering, loop-nest verifier) over one schedule — the CSR default, or
- * any schedule given as a key() string via --schedule — without training
- * or measuring anything. Diagnostics print to stdout and, with
- * --diag-out, export as JSON; the exit code is 1 when any WACO-…
- * error-severity finding fires, 0 otherwise.
+ * lowering, loop-nest verifier, asymptotic-dominance perf notes) over one
+ * schedule — the CSR default, or any schedule given as a key() string via
+ * --schedule — without training or measuring anything. Legal schedules
+ * additionally print their asymptotic bound profile and WACO-S3xx notes
+ * explaining every bound on which the default schedule beats them.
+ * Diagnostics print to stdout and, with --diag-out, export as JSON; the
+ * exit code is 1 when any WACO-… error-severity finding fires, 0
+ * otherwise.
+ *
+ * --no-asym-filter disables the tuner's stage-0 asymptotic dominance
+ * filter, reproducing the pre-filter measurement protocol exactly.
  *
  * --serve demos the tuning-as-a-service layer instead of a single tune:
  * a TunerService is stood up over the trained tuner and a batch of
@@ -33,6 +39,7 @@
  *          [--retries N] [--median K] [--checkpoint FILE]
  *          [--trace-out FILE] [--metrics-out FILE]
  *          [--verify-only] [--schedule KEY] [--diag-out FILE]
+ *          [--no-asym-filter]
  *          [--serve] [--deadline-ms N] [--max-queue N]
  *          [--cache-journal FILE]
  */
@@ -43,6 +50,7 @@
 #include <fstream>
 #include <memory>
 
+#include "analysis/asymptotic_cost.hpp"
 #include "analysis/loopnest_verifier.hpp"
 #include "analysis/schedule_verifier.hpp"
 #include "codegen/emit.hpp"
@@ -72,6 +80,7 @@ usage(const char* argv0)
                  "          [--trace-out FILE] [--metrics-out FILE]\n"
                  "          [--verify-only] [--schedule KEY] "
                  "[--diag-out FILE]\n"
+                 "          [--no-asym-filter]\n"
                  "          [--serve] [--deadline-ms N] [--max-queue N]\n"
                  "          [--cache-journal FILE]\n"
                  "          [--backend interp|compiled] [--emit-out DIR]\n",
@@ -131,6 +140,7 @@ run(int argc, char** argv)
     std::string checkpoint_path;
     std::string trace_path, metrics_path;
     bool verify_only = false;
+    bool asym_filter = true;
     std::string schedule_key, diag_path;
     bool serve = false;
     double deadline_ms = std::numeric_limits<double>::infinity();
@@ -196,6 +206,8 @@ run(int argc, char** argv)
             metrics_path = argv[++i];
         } else if (!std::strcmp(argv[i], "--verify-only")) {
             verify_only = true;
+        } else if (!std::strcmp(argv[i], "--no-asym-filter")) {
+            asym_filter = false;
         } else if (!std::strcmp(argv[i], "--schedule")) {
             if (i + 1 >= argc)
                 usage(argv[0]);
@@ -268,7 +280,15 @@ run(int argc, char** argv)
                               ? defaultSchedule(shape)
                               : SuperSchedule::parseKey(schedule_key);
         auto diags = analysis::verifyLowered(s, shape);
+        // WACO-S3xx: how this schedule's asymptotic bounds compare to the
+        // default's (emits nothing for schedules the verifier rejects).
+        analysis::asymptoticPerfNotes(s, shape, diags);
         std::printf("verifying schedule\n  %s\n", s.key().c_str());
+        if (!diags.hasErrors())
+            std::printf("%s",
+                        analysis::asymptoticBounds(s, shape)
+                            .describe()
+                            .c_str());
         std::printf("%llu error(s), %llu warning(s), %llu perf note(s)\n",
                     static_cast<unsigned long long>(diags.errorCount()),
                     static_cast<unsigned long long>(diags.warningCount()),
@@ -285,6 +305,7 @@ run(int argc, char** argv)
     }
 
     WacoOptions opt;
+    opt.asymFilter = asym_filter;
     opt.extractorConfig.channels = 8;
     opt.extractorConfig.numLayers = 6;
     opt.extractorConfig.featureDim = 32;
@@ -441,6 +462,12 @@ run(int argc, char** argv)
     std::printf("expected: %.3f ms vs CSR default %.3f ms (%.2fx)\n",
                 outcome.bestMeasured.seconds * 1e3, fixed.seconds * 1e3,
                 fixed.seconds / outcome.bestMeasured.seconds);
+    if (opt.asymFilter) {
+        std::printf("asym filter: %llu dominated candidate(s) dropped "
+                    "unmeasured, %llu kept\n",
+                    static_cast<unsigned long long>(outcome.asymRejected),
+                    static_cast<unsigned long long>(outcome.asymKept));
+    }
     if (faulty) {
         const auto& st = outcome.remeasureStats;
         std::printf("remeasure stats: %llu attempts, %llu retries, "

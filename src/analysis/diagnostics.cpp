@@ -8,16 +8,20 @@ namespace waco::analysis {
 std::string
 diagCodeName(DiagCode code)
 {
-    // The enum value encodes the namespace: S-codes live below 300, L-codes
-    // in [300, 400) shifted by 300, R-codes in [400, 500) shifted by 400.
+    // The enum value encodes the namespace: S0xx-S2xx codes live below 300,
+    // L-codes in [300, 400) shifted by 300, R-codes in [400, 500) shifted
+    // by 400, and the later S3xx block in [500, 600) shifted by 200 (the
+    // S-codes below 300 were full when it was appended).
     unsigned v = static_cast<unsigned>(code);
     char buf[16];
     if (v < 300)
         std::snprintf(buf, sizeof buf, "WACO-S%03u", v);
     else if (v < 400)
         std::snprintf(buf, sizeof buf, "WACO-L%03u", v - 300);
-    else
+    else if (v < 500)
         std::snprintf(buf, sizeof buf, "WACO-R%03u", v - 400);
+    else
+        std::snprintf(buf, sizeof buf, "WACO-S%03u", v - 200);
     return buf;
 }
 
@@ -33,6 +37,8 @@ diagSeverity(DiagCode code)
         return Severity::PerfNote; // S2xx
     if (v < 400)
         return Severity::Error; // L0xx
+    if (v >= 500)
+        return Severity::PerfNote; // S3xx (asymptotic dominance)
     // R0xx: the reduction race and both workspace races are actual
     // mis-executions (a runtime honoring the annotation would corrupt the
     // output or the scratch vector); the other hazards describe

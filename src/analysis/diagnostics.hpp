@@ -15,6 +15,7 @@
  *   WACO-S0xx  SuperSchedule structural / capability errors
  *   WACO-S1xx  SuperSchedule warnings (legal but suspicious)
  *   WACO-S2xx  performance notes (legal but slow, Section 3.1 costs)
+ *   WACO-S3xx  asymptotic-dominance perf notes (two-stage search, §14)
  *   WACO-L0xx  LoopNest IR structural invariant violations
  *   WACO-R0xx  parallel-hazard (race / vectorization) findings
  *
@@ -89,6 +90,13 @@ enum class DiagCode : unsigned short
     R004_ParallelWorkspaceWrite = 404, ///< producer accumulates w in parallel.
     R005_ParallelWorkspaceConsume = 405, ///< consumer reads shared w across
                                          ///< threads without a phase barrier.
+
+    // --- WACO-S3xx: asymptotic-dominance perf notes --------------------
+    // (encoded at 500+ so the S0xx/S1xx/S2xx values stay untouched)
+    S301_AsymptoticallyDominated = 501, ///< default schedule dominates this.
+    S302_AsymIterationBound = 502, ///< iteration bound above the default's.
+    S303_AsymTrafficBound = 503,   ///< operand traffic above the default's.
+    S304_AsymSearchBound = 504,    ///< locate/search bound above default's.
 };
 
 /** Stable printable code, e.g. "WACO-S009". */

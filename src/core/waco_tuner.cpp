@@ -5,6 +5,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "analysis/asymptotic_cost.hpp"
 #include "analysis/schedule_verifier.hpp"
 #include "util/logging.hpp"
 #include "util/metrics.hpp"
@@ -233,6 +234,53 @@ WacoTuner::tuneImpl(
         return out;
     }
 
+    // Stage 0 of the pruning pipeline: drop top-k candidates that an
+    // already-kept EARLIER candidate asymptotically prunes (dominates,
+    // and the candidate's own bounds are tight — loose-bounded profiles
+    // may overshoot their actual cost and always survive to measurement),
+    // before any of them reaches the backend. Order matters for winner
+    // preservation: a kept candidate is never retroactively removed when
+    // a later arrival dominates it (the later one measures too and wins
+    // on its own merits), and incomparable candidates all survive — a
+    // Pareto filter, never a total-order sort. Structurally illegal
+    // candidates pass through untouched so the measurement loop's
+    // verifier keeps rejecting (and counting) them exactly as before.
+    std::vector<HnswHit> cands;
+    if (opt_.pruneCandidates && opt_.asymFilter) {
+        WACO_SPAN("tune.asym_filter");
+        std::vector<analysis::AsymptoticBounds> kept;
+        cands.reserve(hits.size());
+        for (const auto& hit : hits) {
+            const SuperSchedule& s = nodes_[hit.id];
+            if (analysis::verifySchedule(s, shape).hasErrors()) {
+                cands.push_back(hit);
+                continue;
+            }
+            analysis::AsymptoticBounds b =
+                analysis::asymptoticBounds(s, shape);
+            bool dominated = false;
+            for (const auto& k : kept) {
+                if (analysis::prunes(k, b)) {
+                    dominated = true;
+                    logDebug("asym filter dropped candidate: " +
+                             analysis::explainDomination(k, b));
+                    break;
+                }
+            }
+            if (dominated) {
+                ++out.asymRejected;
+                WACO_COUNT("analysis.asym_rejected", 1);
+                continue;
+            }
+            kept.push_back(std::move(b));
+            ++out.asymKept;
+            WACO_COUNT("analysis.asym_kept", 1);
+            cands.push_back(hit);
+        }
+    } else {
+        cands.assign(hits.begin(), hits.end());
+    }
+
     // Phase 3: re-measure the top-k on the "hardware" and keep the fastest
     // (the paper's Section 5.2 protocol).
     Timer measure_timer;
@@ -244,7 +292,7 @@ WacoTuner::tuneImpl(
         // result. Safe because lower() and the oracle only see the active
         // orders, which canonicalization preserves exactly.
         std::unordered_map<std::string, Measurement> measured;
-        for (const auto& hit : hits) {
+        for (const auto& hit : cands) {
             // Between-measurement cancellation point: keep whatever top-k
             // prefix is already measured instead of hogging the backend
             // past the deadline.

@@ -49,6 +49,18 @@ struct WacoOptions
      * candidates are measured. OFF reproduces the unpruned protocol.
      */
     bool pruneCandidates = true;
+    /**
+     * Stage 0 of pruneCandidates: before any top-k candidate is measured,
+     * discard candidates asymptotically pruned by an already-kept one
+     * (analysis::prunes — every bound <=, at least one strictly, and the
+     * candidate's own bounds tight; a Pareto filter, never a total-order
+     * sort, so incomparable or loose-bounded candidates all survive).
+     * Whenever the backend respects asymptotic dominance on the measured
+     * shape this cannot change the winner — only how many candidates are
+     * measured. OFF (or pruneCandidates OFF) reproduces the unfiltered
+     * protocol exactly (tune_cli --no-asym-filter).
+     */
+    bool asymFilter = true;
     u64 seed = 42;
     /** Retry/denoise policy for every measurement (labeling + top-k
      *  remeasurement). The default (1 sample, 3 attempts) is a no-op on a
@@ -102,6 +114,12 @@ struct TuneOutcome
     /** Measurements served from a canonical-duplicate's earlier result
      *  instead of a fresh oracle call (pruning on). */
     u64 measurementsReused = 0;
+    /** Top-k candidates discarded unmeasured by the stage-0 asymptotic
+     *  dominance filter (pruning + asymFilter on). */
+    u64 asymRejected = 0;
+    /** Candidates that survived the stage-0 filter — the Pareto-kept set
+     *  the measurement loop actually runs (pruning + asymFilter on). */
+    u64 asymKept = 0;
     /** True when every top-k candidate came back invalid or faulted and
      *  the tuner degraded to the CSR-row-parallel default schedule. */
     bool fellBack = false;

@@ -395,6 +395,22 @@ storageOrderSchedule(Algorithm alg, const FormatDescriptor& desc)
     return s;
 }
 
+void
+forEachLoop(const LoopNest& nest,
+            const std::function<void(const LoopNode&, u32 depth,
+                                     NestPhase phase)>& fn)
+{
+    const auto& loops = nest.loops();
+    for (u32 d = 0; d < loops.size(); ++d)
+        fn(loops[d], d, NestPhase::Producer);
+    if (!nest.fused())
+        return;
+    const auto& consumer = nest.consumerLoops();
+    u32 base = nest.scopePrefixDepth();
+    for (u32 d = 0; d < consumer.size(); ++d)
+        fn(consumer[d], base + d, NestPhase::Consumer);
+}
+
 LoopNest
 lowerStorageOrder(Algorithm alg, const FormatDescriptor& desc,
                   u32 dense_extent)

@@ -39,6 +39,7 @@
  */
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -144,6 +145,14 @@ class LoopNest
     /** Effective (extent-clamped) split size of index @p idx. */
     u32 splitOf(u32 idx) const { return splits_[idx]; }
 
+    /** Number of loops every phase shares: the scope prefix of a fused
+     *  nest (== workspace().scopeDepth), 0 for single-expression nests
+     *  (which have exactly one phase). */
+    u32 scopePrefixDepth() const
+    {
+        return workspace_.present ? workspace_.scopeDepth : 0;
+    }
+
     /**
      * Position of @p slot in the nest, outermost = 0. Degenerate inner
      * slots (split 1) execute "at" their outer half's position, matching
@@ -202,6 +211,24 @@ class LoopNest
     ComputeLeaf consumerLeaf_;
     WorkspaceDecl workspace_;
 };
+
+/** Phase a loop belongs to when walking a (possibly fused) nest. */
+enum class NestPhase : unsigned char
+{
+    Producer, ///< Scope prefix + producer chain (every loop of loops()).
+    Consumer, ///< Consumer chain of a fused nest (consumerLoops()).
+};
+
+/**
+ * Visit every loop of @p nest in execution order with its global depth and
+ * phase: first loops() at depths 0.., then — fused nests only — the
+ * consumer chain re-entered at depth workspace().scopeDepth. Analysis
+ * passes that must price both phases (cost model, asymptotic bounds) walk
+ * through this so the fused-nest shape lives in exactly one place.
+ */
+void forEachLoop(const LoopNest& nest,
+                 const std::function<void(const LoopNode&, u32 depth,
+                                          NestPhase phase)>& fn);
 
 /**
  * Lower a SuperSchedule to its loop nest. Validates the schedule; throws

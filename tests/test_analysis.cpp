@@ -1167,6 +1167,11 @@ TEST_F(TunerPruning, SameBestScheduleWithStrictlyFewerMeasurements)
     opt.topK = 128;
     opt.efSearch = 160;
     opt.pruneCandidates = true;
+    // Isolate the canonicalization/dedup stage: the stage-0 asymptotic
+    // dominance filter would drop candidates unmeasured and break the
+    // exact attempts+reused accounting below. Its own same-winner A/B
+    // lives in test_asymptotic.cpp.
+    opt.asymFilter = false;
     auto opt_off = opt;
     opt_off.pruneCandidates = false;
 
